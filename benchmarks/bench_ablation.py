@@ -1,0 +1,339 @@
+"""Ablation -- the S3 design options, measured.
+
+The paper argues for its choices qualitatively ("that would break many
+common C idioms", "porting code is most straightforward with the third
+option").  This bench measures those arguments: it runs a corpus of
+real-world C idioms under every enumerated option for the S3.2, S3.3,
+and S3.6 questions and counts what survives.
+
+Shape to match (the paper's reasoning):
+
+* S3.3: option (1) breaks intptr idioms that roam out of bounds; option
+  (2) additionally breaks only the far-roaming ones; option (3) -- the
+  paper's choice -- keeps every idiom whose *integer* result is used,
+  defining strictly more programs than (1) and (2);
+* S3.6: options (1)/(2) make address-equal capabilities with different
+  metadata compare unequal, breaking equality-based idioms that the
+  paper's option (3) keeps;
+* S3.2: options (b)/(c) admit the below-the-object excursions option
+  (a) rejects, at the cost the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import emit_report
+
+from repro.errors import OutcomeKind
+from repro.impls import CERBERUS
+from repro.memory.options import (
+    EqualityPolicy, IntptrPolicy, OOBArithPolicy, SemanticsOptions,
+)
+
+INTPTR_IDIOMS = {
+    "in-bounds uintptr indexing": """
+#include <stdint.h>
+int main(void) {
+  int a[8]; a[3] = 1;
+  uintptr_t u = (uintptr_t)a;
+  return *(int *)(u + 3 * sizeof(int)) - 1;
+}
+""",
+    "hash an address (value only)": """
+#include <stdint.h>
+int main(void) {
+  int x;
+  uintptr_t u = (uintptr_t)&x;
+  uintptr_t h = (u * 2654435761u) >> 16;   /* roams far out of bounds */
+  return (int)(h & 0);
+}
+""",
+    "offset-then-restore": """
+#include <stdint.h>
+int main(void) {
+  int x = 5;
+  uintptr_t u = (uintptr_t)&x;
+  uintptr_t moved = u + (1 << 20);     /* leaves representable range */
+  uintptr_t back = moved - (1 << 20);
+  return (int)(back - u);              /* integer result: 0 */
+}
+""",
+    "align-down within object": """
+#include <stdint.h>
+int main(void) {
+  long v = 9;
+  uintptr_t u = (uintptr_t)&v;
+  long *p = (long *)(u & ~(uintptr_t)(sizeof(long) - 1));
+  return (int)(*p - 9);
+}
+""",
+}
+
+EQUALITY_IDIOMS = {
+    "untagged copy compares equal": """
+#include <cheriintrin.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  int *q = cheri_tag_clear(p);
+  return p == q ? 0 : 1;
+}
+""",
+    "narrowed capability compares equal": """
+#include <cheriintrin.h>
+int main(void) {
+  char buf[32];
+  char *n = cheri_bounds_set(buf, 8);
+  return buf == n ? 0 : 1;
+}
+""",
+    "pointer vs intptr view": """
+#include <stdint.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  intptr_t ip = (intptr_t)p;
+  return (int *)ip == p ? 0 : 1;
+}
+""",
+}
+
+OOB_IDIOMS = {
+    "one-below transient (decreasing loop shape)": """
+int main(void) {
+  int a[4];
+  int *p = &a[0];
+  int *below = p - 1;       /* constructed, never dereferenced */
+  (void)below;
+  return 0;
+}
+""",
+    "transient +100001": """
+int main(void) {
+  int x[2];
+  int *p = &x[0];
+  int *q = p + 100001;
+  q = q - 100000;
+  (void)q;
+  return 0;
+}
+""",
+    "one-past (always fine)": """
+int main(void) {
+  int a[4];
+  int *end = a + 4;
+  (void)end;
+  return 0;
+}
+""",
+}
+
+
+def run_with(options: SemanticsOptions, corpus: dict[str, str]):
+    impl = replace(CERBERUS, name=f"cerberus[{options.describe()}]",
+                   options=options)
+    return {name: impl.run(src) for name, src in corpus.items()}
+
+
+def sweep():
+    results = {}
+    for policy in IntptrPolicy:
+        results[("intptr", policy)] = run_with(
+            SemanticsOptions(intptr=policy), INTPTR_IDIOMS)
+    for policy in EqualityPolicy:
+        results[("equality", policy)] = run_with(
+            SemanticsOptions(equality=policy), EQUALITY_IDIOMS)
+    for policy in OOBArithPolicy:
+        results[("oob", policy)] = run_with(
+            SemanticsOptions(oob_arith=policy), OOB_IDIOMS)
+    return results
+
+
+def render(results) -> str:
+    lines = []
+    for axis, corpus in (("intptr", INTPTR_IDIOMS),
+                         ("equality", EQUALITY_IDIOMS),
+                         ("oob", OOB_IDIOMS)):
+        lines.append(f"--- S3 axis: {axis} ---")
+        for (ax, policy), outcomes in results.items():
+            if ax != axis:
+                continue
+            ok = sum(1 for o in outcomes.values()
+                     if o.kind is OutcomeKind.EXIT and o.exit_status == 0)
+            lines.append(f"  {policy.value}")
+            lines.append(f"      idioms surviving: {ok}/{len(corpus)}")
+            for name, o in outcomes.items():
+                lines.append(f"        {name:45s} {o.describe()}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_design_option_ablation(benchmark):
+    results = benchmark(sweep)
+    emit_report("ablation", render(results))
+
+    def survivors(axis, policy):
+        return sum(1 for o in results[(axis, policy)].values()
+                   if o.kind is OutcomeKind.EXIT and o.exit_status == 0)
+
+    # S3.3: the paper's option (3) defines strictly more idioms.
+    s1 = survivors("intptr", IntptrPolicy.UB_OUTSIDE_BOUNDS)
+    s2 = survivors("intptr", IntptrPolicy.UB_OUTSIDE_REPRESENTABLE)
+    s3 = survivors("intptr", IntptrPolicy.DEFINED_WITH_GHOST)
+    assert s3 == len(INTPTR_IDIOMS)
+    assert s1 < s3 and s2 < s3
+    assert s1 <= s2   # (2) is strictly looser than (1)
+
+    # S3.6: option (3) keeps every equality idiom; (1) and (2) break
+    # the metadata-differing comparisons.
+    e3 = survivors("equality", EqualityPolicy.ADDRESS_ONLY)
+    e1 = survivors("equality", EqualityPolicy.EXACT_WITH_TAGS)
+    e2 = survivors("equality", EqualityPolicy.EXACT_WITHOUT_TAGS)
+    assert e3 == len(EQUALITY_IDIOMS)
+    assert e1 < e3
+    assert e1 <= e2 <= e3
+
+    # S3.2: the ISO option rejects both excursions; (b)/(c) accept the
+    # small one-below, and everything accepts one-past.
+    o_a = results[("oob", OOBArithPolicy.ISO_UB)]
+    o_b = results[("oob", OOBArithPolicy.PORTABLE_ENVELOPE)]
+    o_c = results[("oob", OOBArithPolicy.ARCH_REPRESENTABLE)]
+    assert o_a["one-past (always fine)"].ok
+    assert not o_a["one-below transient (decreasing loop shape)"].ok
+    assert o_b["one-below transient (decreasing loop shape)"].ok
+    assert o_c["one-below transient (decreasing loop shape)"].ok
+    # The far transient excursion is beyond even the representable
+    # region, so every option rejects it (hence ghost state, S3.3).
+    for out in (o_a, o_b, o_c):
+        assert not out["transient +100001"].ok
+
+
+SUBOBJECT_IDIOMS = {
+    "container_of via offsetof": """
+#include <stddef.h>
+struct obj { int hdr; int payload; };
+struct obj o = { 7, 42 };
+int main(void) {
+  int *m = &o.payload;
+  struct obj *back = (struct obj *)
+      (void *)((char *)m - offsetof(struct obj, payload));
+  return back->hdr == 7 ? 0 : 1;
+}
+""",
+    "array walk from member pointer": """
+struct vec { int n; int data[4]; };
+int main(void) {
+  struct vec v = { 4, {1, 2, 3, 4} };
+  int *p = &v.data[0];
+  int total = 0;
+  for (int i = 0; i < v.n; i++) total += p[i];
+  return total == 10 ? 0 : 1;
+}
+""",
+    "member overflow into sibling": """
+struct pair { int a; int b; };
+int main(void) {
+  struct pair p;
+  p.b = 5;
+  int *pa = &p.a;
+  return pa[1] == 5 ? 0 : 1;   /* reads b through a's pointer */
+}
+""",
+}
+
+
+def test_subobject_bounds_ablation(benchmark):
+    """S3.8: the default (conservative) mode keeps the container-of and
+    member-overflow idioms working; strict sub-object narrowing traps
+    them while keeping plain member access fine -- the porting-cost /
+    least-privilege trade-off that made the paper keep narrowing off by
+    default."""
+    from repro.impls import by_name
+    conservative = by_name("clang-morello-O0")
+    from dataclasses import replace as _replace
+    strict = _replace(conservative, name="clang-morello-O0-subobject",
+                      subobject_bounds=True)
+
+    def run_both():
+        return (
+            {n: conservative.run(s) for n, s in SUBOBJECT_IDIOMS.items()},
+            {n: strict.run(s) for n, s in SUBOBJECT_IDIOMS.items()},
+        )
+
+    cons, stri = benchmark(run_both)
+    lines = ["--- S3.8 axis: sub-object bounds ---"]
+    for name in SUBOBJECT_IDIOMS:
+        lines.append(f"  {name:38s} conservative={cons[name].describe():10s}"
+                     f" strict={stri[name].describe()}")
+    emit_report("ablation_subobject", "\n".join(lines) + "\n")
+
+    for name in SUBOBJECT_IDIOMS:
+        assert cons[name].ok, name
+    assert not stri["container_of via offsetof"].ok
+    assert not stri["member overflow into sibling"].ok
+    assert stri["array walk from member pointer"].ok
+
+
+TEMPORAL_IDIOMS = {
+    "read after free": """
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  return *p == 5 ? 1 : 2;
+}
+""",
+    "write through stale alias": """
+#include <stdlib.h>
+int *alias;
+int main(void) {
+  int *p = malloc(sizeof(int));
+  alias = p;
+  free(p);
+  *alias = 9;
+  return 1;
+}
+""",
+    "fresh allocation unaffected": """
+#include <stdlib.h>
+int main(void) {
+  int *dead = malloc(sizeof(int));
+  free(dead);
+  int *live = malloc(sizeof(int));
+  *live = 7;
+  int v = *live;
+  free(live);
+  return v == 7 ? 0 : 1;
+}
+""",
+}
+
+
+def test_temporal_revocation_ablation(benchmark):
+    """S3.11/S5.4: plain CHERI hardware misses temporal errors; a
+    revoking implementation (CHERIoT-style) converts each into a
+    deterministic tag fault without disturbing live allocations."""
+    from repro.impls import by_name
+    plain = by_name("clang-morello-O0")
+    revoking = by_name("cheriot-O0")
+
+    def run_both():
+        return (
+            {n: plain.run(s) for n, s in TEMPORAL_IDIOMS.items()},
+            {n: revoking.run(s) for n, s in TEMPORAL_IDIOMS.items()},
+        )
+
+    p, r = benchmark(run_both)
+    lines = ["--- temporal axis: revocation on free ---"]
+    for name in TEMPORAL_IDIOMS:
+        lines.append(f"  {name:34s} plain={p[name].describe():24s}"
+                     f" revoking={r[name].describe()}")
+    emit_report("ablation_temporal", "\n".join(lines) + "\n")
+
+    assert p["read after free"].exit_status == 1          # UAF unnoticed
+    assert p["write through stale alias"].exit_status == 1
+    assert r["read after free"].kind is OutcomeKind.TRAP  # caught
+    assert r["write through stale alias"].kind is OutcomeKind.TRAP
+    assert r["fresh allocation unaffected"].ok            # no collateral

@@ -1,0 +1,99 @@
+"""E3 -- Appendix A: bitwise operations on intptr_t across
+implementations.
+
+Regenerates the paper's sample test-suite output: the ``cap``,
+``cap&uint``, ``cap&int`` trace lines for the reference semantics and
+each simulated compiler.  The shape to match (Appendix A):
+
+* cerberus: ``cap&uint`` unchanged; ``cap&int`` gets ``[?-?] (notag)``
+  (ghost non-representability) because its stack sits just below 2^32;
+* clang (RISC-V and Morello, any -O): both masks relocate the address
+  far below the allocation -> ``(invalid)``;
+* gcc: neither mask changes anything (stack below 2^31).
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report
+
+from repro.impls import APPENDIX_IMPLEMENTATIONS, by_name
+
+# The paper's Appendix A listing, VERBATIM (capprint.h's sptr/PTR_FMT
+# are provided by the runtime).
+APPENDIX_SRC = r"""
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+#include "capprint.h"
+
+int main(void) {
+  int x[2]={42,43};
+  intptr_t ip = (intptr_t)&x;
+  fprintf(stderr,"cap %" PTR_FMT "\n", sptr((void*)ip));
+  intptr_t ip2 = ip & UINT_MAX;
+  fprintf(stderr,"cap&uint %" PTR_FMT "\n", sptr((void*)ip2));
+  intptr_t ip3 = ip & INT_MAX;
+  fprintf(stderr,"cap&int %" PTR_FMT "\n", sptr((void*)ip3));
+}
+"""
+
+
+def run_all():
+    return {impl.name: impl.run(APPENDIX_SRC)
+            for impl in APPENDIX_IMPLEMENTATIONS}
+
+
+def test_appendix_a_output(benchmark):
+    outputs = benchmark(run_all)
+
+    blocks = []
+    for impl in APPENDIX_IMPLEMENTATIONS:
+        out = outputs[impl.name]
+        assert out.ok, (impl.name, out.describe())
+        blocks.append(f"{impl.name}:\n{out.stdout}")
+    emit_report("appendix_a", "\n".join(blocks))
+
+    # --- the paper's qualitative shape -------------------------------
+    cerb = outputs["cerberus"].stdout.splitlines()
+    assert "notag" not in cerb[0] and "notag" not in cerb[1]
+    assert "[?-?]" in cerb[2] and "(notag)" in cerb[2]
+
+    for name in ("clang-riscv-O0", "clang-riscv-O3",
+                 "clang-morello-O0", "clang-morello-O3"):
+        lines = outputs[name].stdout.splitlines()
+        assert "(invalid)" not in lines[0], name
+        assert "(invalid)" in lines[1], name
+        assert "(invalid)" in lines[2], name
+
+    for name in ("gcc-morello-O0", "gcc-morello-O3"):
+        assert "(invalid)" not in outputs[name].stdout, name
+
+
+def test_appendix_masked_addresses_match_mask_semantics(benchmark):
+    """The address part of the masked values is always the plain integer
+    mask result (S3.3: the integer value stays defined)."""
+    src = """
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+  int x[2];
+  intptr_t ip = (intptr_t)&x;
+  printf("%zx %zx %zx\\n",
+         (ptraddr_t)ip,
+         (ptraddr_t)(ip & UINT_MAX),
+         (ptraddr_t)(ip & INT_MAX));
+  return 0;
+}
+"""
+
+    def run():
+        return {impl.name: impl.run(src)
+                for impl in APPENDIX_IMPLEMENTATIONS}
+
+    outputs = benchmark(run)
+    for name, out in outputs.items():
+        assert out.ok
+        full, muint, mint = (int(v, 16) for v in out.stdout.split())
+        assert muint == full & 0xFFFFFFFF, name
+        assert mint == full & 0x7FFFFFFF, name

@@ -1,0 +1,121 @@
+"""E7 -- memory-object-model microbenchmarks (harness health).
+
+The paper reports no performance numbers (it is a semantics paper); these
+measure the executable semantics itself so regressions in the oracle's
+usability as "a test oracle for more aggressive compiler testing" (S7)
+are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capability import MORELLO
+from repro.ctypes import ArrayT, IKind, INT, LONG, Pointer
+from repro.impls.registry import CERBERUS_MAP
+from repro.memory import (
+    IntegerValue, MemoryModel, Mode, MVInteger, MVPointer,
+)
+from repro.memory.allocation import AllocKind
+
+
+@pytest.fixture
+def model():
+    return MemoryModel(MORELLO, Mode.ABSTRACT, CERBERUS_MAP)
+
+
+def test_bench_allocate_object(benchmark, model):
+    benchmark(model.allocate_object, INT, AllocKind.STACK, "x")
+
+
+def test_bench_load_store_int(benchmark, model):
+    p = model.allocate_object(INT, AllocKind.STACK, "x")
+    value = MVInteger(INT, IntegerValue.of_int(42))
+
+    def op():
+        model.store(INT, p, value)
+        return model.load(INT, p)
+
+    out = benchmark(op)
+    assert out.ival.value() == 42
+
+
+def test_bench_load_store_capability(benchmark, model):
+    x = model.allocate_object(LONG, AllocKind.STACK, "x")
+    slot = model.allocate_object(Pointer(LONG), AllocKind.STACK, "p")
+    value = MVPointer(Pointer(LONG), x)
+
+    def op():
+        model.store(Pointer(LONG), slot, value)
+        return model.load(Pointer(LONG), slot)
+
+    out = benchmark(op)
+    assert out.ptr.cap.tag
+
+
+def test_bench_pointer_arith(benchmark, model):
+    t = ArrayT(elem=INT, length=64)
+    a = model.allocate_object(t, AllocKind.STACK, "a")
+    benchmark(model.array_shift, a, INT, 63)
+
+
+def test_bench_int_ptr_roundtrip(benchmark, model):
+    x = model.allocate_object(INT, AllocKind.STACK, "x")
+
+    def op():
+        iv = model.ptr_to_int(x, IKind.UINTPTR)
+        return model.int_to_ptr(iv, INT)
+
+    out = benchmark(op)
+    assert out.cap.tag
+
+
+def test_bench_memcpy_capabilities(benchmark, model):
+    t = ArrayT(elem=Pointer(INT), length=16)
+    x = model.allocate_object(INT, AllocKind.STACK, "x")
+    src = model.allocate_object(t, AllocKind.STACK, "src")
+    dst = model.allocate_object(t, AllocKind.STACK, "dst")
+    for i in range(16):
+        slot = src.with_cap(src.cap.with_address(src.address + i * 16))
+        model.store(Pointer(INT), slot, MVPointer(Pointer(INT), x))
+    benchmark(model.memcpy, dst, src, 16 * 16)
+
+
+def test_bench_interpreter_throughput(benchmark):
+    """End-to-end: a small but non-trivial program through parse,
+    (no) optimisation, and evaluation."""
+    from repro.impls import CERBERUS
+    src = """
+#include <stdint.h>
+int sum(int *a, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += a[i];
+  return s;
+}
+int main(void) {
+  int a[32];
+  for (int i = 0; i < 32; i++) a[i] = i;
+  uintptr_t ip = (uintptr_t)a;
+  int *p = (int*)(ip + 8 * sizeof(int));
+  return sum(a, 32) + *p - 504;
+}
+"""
+    out = benchmark(CERBERUS.run, src)
+    assert out.ok
+
+
+def test_bench_hardware_mode_overhead(benchmark):
+    """Hardware mode skips provenance checks; it should not be slower."""
+    from repro.impls import by_name
+    src = """
+int main(void) {
+  int a[64];
+  for (int i = 0; i < 64; i++) a[i] = i;
+  int s = 0;
+  for (int i = 0; i < 64; i++) s += a[i];
+  return s == 2016 ? 0 : 1;
+}
+"""
+    impl = by_name("clang-morello-O0")
+    out = benchmark(impl.run, src)
+    assert out.ok

@@ -1,0 +1,182 @@
+"""E5 -- the S3 worked examples: per-implementation outcome matrix.
+
+Regenerates the behaviour the paper narrates for each inline listing of
+S3: where the abstract machine flags UB, where unoptimised hardware
+traps, and where optimisation makes the program silently "work".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import emit_report
+
+from repro.errors import OutcomeKind
+from repro.impls import ALL_IMPLEMENTATIONS, by_name
+from repro.impls.registry import CLANG_MORELLO_O3
+
+CLANG_O2 = replace(CLANG_MORELLO_O3, name="clang-morello-O2", opt_level=2)
+
+LISTINGS = {
+    "S3.1 doomed OOB write": """
+void f(int *p, int i) { int *q = p + i; *q = 42; }
+int main(void) { int x=0, y=0; f(&x, 1); return y; }
+""",
+    "S3.1 doomed write, &x escapes": """
+int *g;
+void f(int *p, int i) { int *q = p + i; *q = 42; }
+int main(void) { int x=0, y=0; g = &x; f(&x, 1); return y; }
+""",
+    "S3.1 in-bounds assumption g(1)": """
+void h(char *a) { a[0] = 9; }
+char g(int i) { char a[1]; h(a); return a[i]; }
+int main(void) { return g(1); }
+""",
+    "S3.2 transient OOB pointer": """
+int main(void) {
+  int x[2];
+  int *p = &x[0];
+  int *q = p + 100001;
+  q = q - 100000;
+  *q = 1;
+  return 0;
+}
+""",
+    "S3.3 transient intptr excursion": """
+#include <stdint.h>
+void f(int a, int b) {
+  int x[2];
+  int *p = &x[0];
+  uintptr_t i = (uintptr_t)p;
+  uintptr_t j = i + a;
+  uintptr_t k = j - b;
+  int *q = (int*)k;
+  *q = 1;
+}
+int main(void) {
+  f(100001*sizeof(int), 100000*sizeof(int));
+  return 0;
+}
+""",
+    "S3.4 union type punning": """
+#include <stdint.h>
+#include <assert.h>
+union ptr { int *ptr; uintptr_t iptr; };
+int main(void) {
+  int arr[] = {42,43};
+  union ptr x;
+  x.ptr = arr;
+  x.iptr += sizeof(int);
+  assert (*x.ptr == 43);
+  return 0;
+}
+""",
+    "S3.5 identity byte write": """
+int main(void) {
+  int x = 0;
+  int *px = &x;
+  unsigned char *p = (unsigned char *)&px;
+  p[0] = p[0];
+  *px = 1;
+  return x;
+}
+""",
+    "S3.5 bytewise pointer copy loop": """
+int main(void) {
+  int x = 0;
+  int *px0 = &x;
+  int *px1;
+  unsigned char *p0 = (unsigned char *)&px0;
+  unsigned char *p1 = (unsigned char *)&px1;
+  for (int i=0; i<sizeof(int*); i++)
+    p1[i] = p0[i];
+  *px1 = 1;
+  return x;
+}
+""",
+    "S3.7 intptr array_shift": """
+#include <stdint.h>
+int* array_shift(int *x, int n) {
+  intptr_t ip = (intptr_t)x;
+  intptr_t ip1 = sizeof(int)*n + ip;
+  int *p = (int*)ip1;
+  return p;
+}
+int main(void) { int a[3]; a[2] = 0; return *array_shift(a, 2); }
+""",
+}
+
+IMPLS = (by_name("cerberus"), by_name("clang-morello-O0"), CLANG_O2,
+         by_name("clang-morello-O3"), by_name("gcc-morello-O3"))
+
+
+def run_matrix():
+    return {title: {impl.name: impl.run(src) for impl in IMPLS}
+            for title, src in LISTINGS.items()}
+
+
+def render(matrix) -> str:
+    width = max(len(t) for t in LISTINGS) + 2
+
+    def cell(text: str) -> str:
+        short = (text.replace("UB_CHERI_", "")
+                 .replace("UB_out_of_bounds_pointer_arithmetic", "oob-arith")
+                 .replace("trap: ", "trap:")
+                 .replace(" violation", ""))
+        return f" | {short:>18s}"
+
+    head = " " * width + "".join(f" | {impl.name:>18s}" for impl in IMPLS)
+    lines = [head, "-" * len(head)]
+    for title, row in matrix.items():
+        cells = "".join(cell(row[impl.name].describe()) for impl in IMPLS)
+        lines.append(f"{title:<{width}s}{cells}")
+    return "\n".join(lines) + "\n"
+
+
+def test_paper_listings_matrix(benchmark):
+    matrix = benchmark(run_matrix)
+    emit_report("paper_listings", render(matrix))
+
+    def kind(title, impl):
+        return matrix[title][impl].kind
+
+    UB, TRAP, EXIT = (OutcomeKind.UNDEFINED, OutcomeKind.TRAP,
+                      OutcomeKind.EXIT)
+
+    # S3.1: UB / trap at -O0 / gone at -O2 and -O3.
+    t = "S3.1 doomed OOB write"
+    assert kind(t, "cerberus") is UB
+    assert kind(t, "clang-morello-O0") is TRAP
+    assert kind(t, "clang-morello-O2") is EXIT
+    assert kind(t, "clang-morello-O3") is EXIT
+
+    # S3.1 escaped: the write survives -O2 but not -O3 (the paper's
+    # "subtle and hard-to-predict" point).
+    t = "S3.1 doomed write, &x escapes"
+    assert kind(t, "clang-morello-O2") is TRAP
+    assert kind(t, "clang-morello-O3") is EXIT
+
+    # S3.1 g(1): the in-bounds assumption removes the trap at -O3.
+    t = "S3.1 in-bounds assumption g(1)"
+    assert kind(t, "cerberus") is UB
+    assert kind(t, "clang-morello-O0") is TRAP
+    assert kind(t, "clang-morello-O3") is EXIT
+
+    # S3.2 / S3.3: transient excursions trap at -O0, collapse at -O3.
+    for t in ("S3.2 transient OOB pointer",
+              "S3.3 transient intptr excursion"):
+        assert kind(t, "cerberus") is UB, t
+        assert kind(t, "clang-morello-O0") is TRAP, t
+        assert kind(t, "clang-morello-O3") is EXIT, t
+
+    # S3.4 / S3.7: well-defined everywhere.
+    for t in ("S3.4 union type punning", "S3.7 intptr array_shift"):
+        for impl in IMPLS:
+            assert matrix[t][impl.name].ok, (t, impl.name)
+
+    # S3.5: UB / trap at -O0 / silent success once optimised away.
+    for t in ("S3.5 identity byte write", "S3.5 bytewise pointer copy loop"):
+        assert kind(t, "cerberus") is UB, t
+        assert kind(t, "clang-morello-O0") is TRAP, t
+        assert kind(t, "clang-morello-O3") is EXIT, t
+        assert matrix[t]["clang-morello-O3"].exit_status == 1, t

@@ -1,0 +1,108 @@
+"""E6 -- representability ablation (S3.2, S3.10, S5.4).
+
+Sweeps object sizes over both capability formats and reports:
+
+* the exact-representability crossover (Morello: byte-exact through its
+  mantissa window; the CHERIoT-style format: byte-exact up to 511 bytes,
+  8-byte granules above -- the published CHERIoT property);
+* alignment requirements growing with object size;
+* the conservative portable envelope of [45 S4.3.5] versus the
+  architectural representable window (the S3.3 option (i) vs (ii)
+  trade-off): the architectural window always contains the portable one
+  for in-bounds objects.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report
+
+from repro.capability import CHERIOT, MORELLO
+from repro.capability.concentrate import CompressedBounds
+from repro.memory.allocator import representable_region
+
+SIZES = [1, 16, 100, 511, 512, 601, 4095, 4096, 16383, 16384,
+         65537, (1 << 20) + 1, (1 << 26) + 5]
+
+
+def sweep(arch):
+    rows = []
+    for size in SIZES:
+        align, padded = representable_region(arch.compression, size, 1)
+        _bounds, exact = CompressedBounds.encode(arch.compression,
+                                                 0, size)
+        rows.append((size, exact, padded, align))
+    return rows
+
+
+def render() -> str:
+    lines = []
+    for arch in (MORELLO, CHERIOT):
+        lines.append(f"{arch.name} (mantissa {arch.compression.mantissa_width}"
+                     f" bits, byte-exact to "
+                     f"{arch.compression.max_exact_length}):")
+        lines.append("      size    exact@0   padded-size   req-align")
+        for size, exact, padded, align in sweep(arch):
+            if size >= (1 << arch.address_width):
+                continue
+            lines.append(f"{size:10d}   {str(exact):>7s}   {padded:11d}"
+                         f"   {align:9d}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_representability_sweep(benchmark):
+    rows = benchmark(sweep, MORELLO)
+    emit_report("representability", render())
+
+    by_size = {r[0]: r for r in rows}
+    # Morello: byte-exact (at aligned bases) through the mantissa window.
+    assert by_size[16383][1] is True
+    assert by_size[16384][1] is True          # power of two stays exact
+    assert by_size[65537][1] is False         # odd size above the window
+    # Padding is monotone and alignment grows with size.
+    assert by_size[(1 << 26) + 5][3] > by_size[65537][3] > 1
+
+    cheriot = {r[0]: r for r in sweep(CHERIOT)}
+    assert cheriot[511][1] is True            # CHERIoT's published 511 B
+    assert cheriot[512][1] is True            # aligned power of two
+    assert cheriot[601][1] is False           # odd size above 511
+    assert cheriot[601][2] % 8 == 0           # 8-byte granules
+
+
+def test_portable_envelope_inside_architectural(benchmark):
+    """Option (i)'s conservative envelope never exceeds the option (ii)
+    architectural window for the object's own footprint."""
+
+    def check():
+        violations = []
+        for size in (8, 64, 1024, 1 << 16, 1 << 22):
+            align, padded = representable_region(MORELLO.compression,
+                                                 size, 16)
+            base = align * 1024
+            bounds, _ = CompressedBounds.encode(MORELLO.compression,
+                                                base, padded)
+            for addr in (base, base + padded - 1, base + padded):
+                if not bounds.is_representable(base, addr):
+                    violations.append((size, addr))
+        return violations
+
+    violations = benchmark(check)
+    assert violations == []
+
+
+def test_architectural_window_is_implementation_defined(benchmark):
+    """S3.3 option (ii): the two formats genuinely differ in how far
+    out-of-bounds an address may roam -- the reason the paper makes the
+    region implementation-defined rather than fixed."""
+
+    def window_sizes():
+        out = {}
+        for arch in (MORELLO, CHERIOT):
+            bounds, _ = CompressedBounds.encode(arch.compression, 0x4000,
+                                                256)
+            lo, hi = bounds.representable_limits(0x4000)
+            out[arch.name] = hi - lo
+        return out
+
+    sizes = benchmark(window_sizes)
+    assert sizes["morello"] != sizes["cheriot"]

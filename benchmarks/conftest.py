@@ -1,0 +1,22 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one of the paper's artefacts (a table, a figure,
+or a worked example).  The regenerated artefact is written to
+``benchmarks/reports/<name>.txt`` (and echoed when running with ``-s``),
+so ``pytest benchmarks/ --benchmark-only`` leaves both the timing table
+and the paper-shaped outputs behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} ===\n{text}")
+    return path

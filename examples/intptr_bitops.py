@@ -1,0 +1,49 @@
+"""The Appendix A experiment: bitwise ops on intptr_t, per implementation.
+
+Reproduces the paper's sample test-suite output -- the same program
+printing ``cap``, ``cap&uint``, ``cap&int`` under the reference semantics
+and each simulated compiler, showing how the observable behaviour depends
+on allocator address ranges.
+
+Run:  python examples/intptr_bitops.py
+"""
+
+from repro.impls import APPENDIX_IMPLEMENTATIONS
+
+SOURCE = """
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+  int x[2]={42,43};
+  intptr_t ip = (intptr_t)&x;
+  print_cap("cap", ip);
+  intptr_t ip2 = ip & UINT_MAX;
+  print_cap("cap&uint", ip2);
+  intptr_t ip3 = ip & INT_MAX;
+  print_cap("cap&int", ip3);
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    for impl in APPENDIX_IMPLEMENTATIONS:
+        out = impl.run(SOURCE)
+        print(f"{impl.name}:")
+        for line in out.stdout.splitlines():
+            print(f"  {line}")
+        print()
+    print("Reading the traces (Appendix A):")
+    print(" * cerberus stacks sit just below 2^32: & UINT_MAX is the")
+    print("   identity, & INT_MAX lands below the base -> the ghost")
+    print("   state marks bounds/tag unspecified ([?-?] (notag));")
+    print(" * clang stacks are high: both masks relocate the address far")
+    print("   out of the representable range -> (invalid) tags;")
+    print(" * gcc's bare-metal stack is below 2^31: neither mask changes")
+    print("   anything, 'likely because of its memory allocator's")
+    print("   address ranges' (S5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Porting audit: classify legacy C idioms for CHERI C readiness.
+
+The paper's motivation (S1, S3): porting existing C to CHERI C is
+usually recompilation, but "more exotic code, for example code that
+manipulates the bit-representations of pointers, may need some source
+adaptation."  This example runs a corpus of common legacy idioms through
+the executable semantics and produces the porting report a migration
+team would want: which idioms are fine, which are CHERI C UB, and which
+CHERI-specific UB they hit.
+
+Run:  python examples/porting_audit.py
+"""
+
+from repro.errors import OutcomeKind
+from repro.impls import CERBERUS, by_name
+
+IDIOMS = {
+    "pointer round-trip through uintptr_t": """
+#include <stdint.h>
+int main(void) {
+  int x = 1;
+  uintptr_t u = (uintptr_t)&x;
+  int *p = (int *)u;
+  return *p - 1;
+}
+""",
+    "alignment check via low bits": """
+#include <stdint.h>
+int main(void) {
+  long v;
+  uintptr_t u = (uintptr_t)&v;
+  return (u & (sizeof(long) - 1)) != 0;
+}
+""",
+    "tagged-pointer low bits (mask before use)": """
+#include <stdint.h>
+int main(void) {
+  long v = 7;
+  uintptr_t u = (uintptr_t)&v;
+  u |= 1;                               /* stash a flag */
+  long *p = (long *)(u & ~(uintptr_t)1); /* mask it off  */
+  return *p - 7;
+}
+""",
+    "pointer round-trip through unsigned long": """
+int main(void) {
+  int x = 1;
+  unsigned long u = (unsigned long)&x;  /* loses the capability! */
+  int *p = (int *)u;
+  return *p - 1;
+}
+""",
+    "container_of via offsetof": """
+#include <stddef.h>
+struct obj { int hdr; int payload; };
+struct obj o = { 1, 2 };
+int main(void) {
+  int *member = &o.payload;
+  struct obj *obj = (struct obj *)
+      (void *)((char *)member - offsetof(struct obj, payload));
+  return obj->hdr - 1;
+}
+""",
+    "iterate with one-past sentinel": """
+int main(void) {
+  int a[8];
+  for (int *p = a; p != a + 8; p++) *p = 1;
+  int s = 0;
+  for (int *p = a; p != a + 8; p++) s += *p;
+  return s - 8;
+}
+""",
+    "decreasing loop below the array": """
+int main(void) {
+  int a[4];
+  int s = 0;
+  /* p runs to one-BELOW-the-base: legal on many machines, UB in
+     ISO and CHERI C (S3.2 option (a)). */
+  for (int *p = &a[3]; p >= a; p--) s += 0;
+  return s;
+}
+""",
+    "XOR-linked-list pointer encoding": """
+#include <stdint.h>
+int main(void) {
+  int v = 3;
+  uintptr_t key = 0xdecafbad;
+  uintptr_t enc = (uintptr_t)&v ^ key;   /* leaves representable range */
+  int *p = (int *)(enc ^ key);
+  return *p - 3;
+}
+""",
+    "memcpy a struct full of pointers": """
+#include <string.h>
+struct vec { int *a; int *b; };
+int main(void) {
+  int x = 1, y = 2;
+  struct vec v = { &x, &y };
+  struct vec w;
+  memcpy(&w, &v, sizeof(v));
+  return *w.a + *w.b - 3;
+}
+""",
+    "byte-swab a pointer in place": """
+int main(void) {
+  int x = 1;
+  int *p = &x;
+  unsigned char *b = (unsigned char *)&p;
+  unsigned char t = b[0]; b[0] = b[1]; b[1] = t;  /* swap */
+  t = b[0]; b[0] = b[1]; b[1] = t;                /* swap back */
+  return *p - 1;
+}
+""",
+}
+
+
+def verdict(outcome) -> str:
+    if outcome.kind is OutcomeKind.EXIT and outcome.exit_status == 0:
+        return "PORTS CLEANLY"
+    if outcome.kind is OutcomeKind.UNDEFINED and outcome.ub is not None \
+            and outcome.ub.is_cheri:
+        return f"NEEDS ADAPTATION  ({outcome.ub})"
+    if outcome.kind is OutcomeKind.UNDEFINED:
+        return f"ALREADY ISO-UB    ({outcome.ub})"
+    return outcome.describe()
+
+
+def main() -> None:
+    print("CHERI C porting audit "
+          "(reference semantics + Morello-O0 hardware)\n")
+    hw = by_name("clang-morello-O0")
+    width = max(len(n) for n in IDIOMS) + 2
+    for name, src in IDIOMS.items():
+        ref = CERBERUS.run(src)
+        hard = hw.run(src)
+        print(f"{name:<{width}s} {verdict(ref):<46s} "
+              f"hardware: {hard.describe()}")
+    print("\nLegend: NEEDS ADAPTATION = hits a CHERI-specific UB "
+          "(S4.2); the hardware")
+    print("column shows what actually happens on a CHERI CPU today.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Explore CHERI Concentrate bounds compression (S2.1, S3.2, S3.10).
+
+For a list of (base, size) requests, shows -- on both capability
+formats -- what the hardware can actually encode: whether the bounds are
+byte-exact, how much padding/alignment the allocator must add, and how
+far outside the bounds the address may roam before the capability
+becomes unrepresentable.
+
+Run:  python examples/representability_explorer.py [size ...]
+"""
+
+import sys
+
+from repro.capability import CHERIOT, MORELLO
+from repro.capability.concentrate import CompressedBounds
+from repro.memory.allocator import representable_region
+
+DEFAULT_SIZES = [16, 100, 511, 4096, 16384, 65537, (1 << 20) + 1]
+
+
+def explore(arch, size: int) -> str:
+    params = arch.compression
+    if size >= (1 << params.address_width):
+        return f"  {size:>10d}  (exceeds the {params.address_width}-bit " \
+               f"address space)"
+    align, padded = representable_region(params, size, 1)
+    base = max(align, 0x1000)
+    while base % align:
+        base += 1
+    bounds, exact = CompressedBounds.encode(params, base, size)
+    lo, hi = bounds.representable_limits(base)
+    decoded = bounds.decode(base)
+    # The window is modular (it may wrap around the address space), so
+    # express the roam as modular distances from the object.
+    space = 1 << params.address_width
+    window = hi - lo
+    slack_below = (decoded.base - lo) % space
+    slack_above = window - slack_below - decoded.length
+    if window >= space:
+        roam = "whole address space"
+    else:
+        roam = f"-{slack_below:<10d} +{slack_above:<10d}"
+    return (f"  {size:>10d}  exact={str(exact):5s} padded={padded:>10d} "
+            f"align={align:>8d}  roam: {roam}")
+
+
+def main() -> None:
+    sizes = [int(s, 0) for s in sys.argv[1:]] or DEFAULT_SIZES
+    for arch in (MORELLO, CHERIOT):
+        p = arch.compression
+        print(f"{arch.name}: {p.address_width}-bit addresses, "
+              f"{p.mantissa_width}-bit mantissa, byte-exact to "
+              f"{p.max_exact_length} bytes")
+        print("        size  exact      padded     align   "
+              "representable roam below/above")
+        for size in sizes:
+            print(explore(arch, size))
+        print()
+    print("'roam' is how far pointer arithmetic can stray outside the")
+    print("bounds before hardware clears the tag (S3.2) -- the paper's")
+    print("reason for making the region implementation-defined (S3.3")
+    print("option (ii)): it differs per format and per object size.")
+    print("The portable guarantee of [45 S4.3.5] instead promises only")
+    lo, hi = MORELLO.portable_representable_limits(0x10000, 4096)
+    print(f"e.g. for a 4 KiB object: -{0x10000 - lo} / "
+          f"+{hi - 0x10000 - 4096} bytes on any 64-bit CHERI.")
+
+
+if __name__ == "__main__":
+    main()

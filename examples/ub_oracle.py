@@ -1,0 +1,113 @@
+"""Differential testing with the executable semantics as oracle (S7).
+
+The paper's future-work claim: "The fact that our semantics is
+executable means that it could be used as a test oracle for more
+aggressive compiler testing, letting one use randomly generated tests
+without manually curating their intended results."
+
+This example does exactly that: it generates random little
+pointer-manipulating programs, computes each one's *intended* outcome
+with the reference semantics (UB-or-result), and then checks every
+simulated implementation against the oracle's verdict:
+
+* if the oracle says the program is UB, anything goes -- record what
+  each implementation did with its freedom;
+* if the oracle says ``exit N``, every implementation must exit N --
+  anything else would be a compiler bug.
+
+Run:  python examples/ub_oracle.py [count] [seed]
+"""
+
+import random
+import sys
+
+from repro.errors import OutcomeKind
+from repro.impls import ALL_IMPLEMENTATIONS, CERBERUS
+
+
+class ProgramGenerator:
+    """Random straight-line pointer programs over one array."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def generate(self) -> str:
+        n = self.rng.randint(2, 8)
+        lines = [
+            "#include <stdint.h>",
+            "int main(void) {",
+            f"  int a[{n}];",
+            f"  for (int i = 0; i < {n}; i++) a[i] = i;",
+            "  int *p = a;",
+            "  uintptr_t u = (uintptr_t)a;",
+            "  int acc = 0;",
+        ]
+        for _ in range(self.rng.randint(2, 6)):
+            lines.append("  " + self._step(n))
+        lines.append("  return acc & 127;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _step(self, n: int) -> str:
+        rng = self.rng
+        kind = rng.randrange(6)
+        if kind == 0:   # pointer arithmetic, possibly out of range
+            off = rng.randint(-2, n + 2)
+            return f"p = a + {off};" if off >= 0 else f"p = a - {-off};"
+        if kind == 1:   # dereference wherever p points
+            return "acc += *p;"
+        if kind == 2:   # intptr arithmetic, possibly a big excursion
+            delta = rng.choice([4, 8, n * 4, 100001 * 4])
+            op = rng.choice(["+", "-"])
+            return f"u = u {op} {delta};"
+        if kind == 3:   # rebuild p from u
+            return "p = (int *)u;"
+        if kind == 4:   # in-bounds index
+            return f"acc += a[{rng.randrange(n)}];"
+        return f"u = u & ~(uintptr_t){rng.choice([1, 3, 7])};"
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 20240427
+    rng = random.Random(seed)
+    gen = ProgramGenerator(rng)
+
+    defined = 0
+    undefined = {}
+    mismatches = []
+    for i in range(count):
+        src = gen.generate()
+        oracle = CERBERUS.run(src)
+        if oracle.kind is OutcomeKind.UNDEFINED:
+            undefined[oracle.ub] = undefined.get(oracle.ub, 0) + 1
+            continue
+        assert oracle.kind is OutcomeKind.EXIT, oracle.describe()
+        defined += 1
+        for impl in ALL_IMPLEMENTATIONS[1:]:
+            got = impl.run(src)
+            if got.kind is not OutcomeKind.EXIT or \
+                    got.exit_status != oracle.exit_status:
+                mismatches.append((i, impl.name, oracle.describe(),
+                                   got.describe(), src))
+
+    print(f"generated {count} random programs (seed {seed})")
+    print(f"  oracle verdict 'defined':   {defined}")
+    print(f"  oracle verdict 'UB':        {count - defined}")
+    for ub, k in sorted(undefined.items(), key=lambda kv: -kv[1]):
+        print(f"      {k:3d} x {ub}")
+    if mismatches:
+        print(f"\n!! {len(mismatches)} implementation mismatches on "
+              "defined programs:")
+        for i, name, want, got, src in mismatches[:3]:
+            print(f"  program {i} on {name}: oracle {want}, got {got}")
+            print("  ---")
+            print("  " + "\n  ".join(src.splitlines()))
+    else:
+        print("\nevery implementation agreed with the oracle on every "
+              "defined program --")
+        print("the differential-testing loop the paper's S7 envisions.")
+
+
+if __name__ == "__main__":
+    main()

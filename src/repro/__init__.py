@@ -1,0 +1,33 @@
+"""Executable CHERI C semantics.
+
+A Python reproduction of "Formal Mechanised Semantics of CHERI C:
+Capabilities, Undefined Behaviour, and Provenance" (ASPLOS 2024):
+
+* :mod:`repro.capability` -- abstract capabilities, CHERI Concentrate
+  compression, Morello and CHERIoT-style formats;
+* :mod:`repro.memory` -- the CHERI C memory object model (PNVI-ae-udi
+  provenance, ghost state, the S4.2 undefined behaviours);
+* :mod:`repro.ctypes` -- the CHERI C type system;
+* :mod:`repro.core` -- the executable semantics (C-subset frontend +
+  abstract-machine evaluator) and the modelled optimiser;
+* :mod:`repro.impls` -- simulated implementations for the S5 comparison;
+* :mod:`repro.testsuite` -- the 94-test validation suite of Table 1.
+
+Quick start::
+
+    from repro.impls import CERBERUS
+    outcome = CERBERUS.run('''
+        int main(void) {
+            int x = 0;
+            int *p = &x;
+            return p[1];      /* out of bounds */
+        }
+    ''')
+    assert outcome.ub is not None   # UB_CHERI_BoundsViolation
+"""
+
+from repro.errors import Outcome, OutcomeKind, TrapKind, UB
+
+__version__ = "1.0.0"
+
+__all__ = ["Outcome", "OutcomeKind", "TrapKind", "UB", "__version__"]

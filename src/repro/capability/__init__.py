@@ -1,0 +1,40 @@
+"""Hardware capability model: abstract API + concrete encodings.
+
+This package reproduces S2.1, S3.10, and S4.1 of the paper:
+
+* :mod:`repro.capability.permissions` -- permission sets, with the common
+  portable base set and architecture-specific extensions.
+* :mod:`repro.capability.otype` -- object types and sealing.
+* :mod:`repro.capability.concentrate` -- a parametric implementation of
+  the CHERI Concentrate bounds-compression algorithm (Woodruff et al.),
+  the scheme behind Morello's and CHERI-RISC-V's capability formats.
+* :mod:`repro.capability.ghost` -- the two-bit per-capability ghost state
+  (tag-unspecified, bounds-unspecified) of S4.3.
+* :mod:`repro.capability.abstract` -- the abstract capability type used
+  by the memory object model (the analogue of the paper's Coq module
+  type), with all architecture-specific behaviour behind
+  :class:`~repro.capability.abstract.Architecture`.
+* :mod:`repro.capability.morello` / :mod:`repro.capability.cheriot` --
+  concrete 128+1-bit and 64+1-bit instantiations.
+"""
+
+from repro.capability.abstract import Architecture, Capability
+from repro.capability.concentrate import CompressionParams, CompressedBounds
+from repro.capability.ghost import GhostState
+from repro.capability.morello import MORELLO
+from repro.capability.cheriot import CHERIOT
+from repro.capability.otype import OType
+from repro.capability.permissions import Permission, PermissionSet
+
+__all__ = [
+    "Architecture",
+    "Capability",
+    "CompressionParams",
+    "CompressedBounds",
+    "GhostState",
+    "MORELLO",
+    "CHERIOT",
+    "OType",
+    "Permission",
+    "PermissionSet",
+]

@@ -1,0 +1,53 @@
+"""A CHERIoT-style 64+1-bit capability format for 32-bit systems.
+
+S3.10 / S5.4: CHERIoT extends RISC-V RV32E with 64+1-bit capabilities,
+"uses a different capability encoding scheme from 32-bit CHERI-RISC-V and
+provides byte-granularity bounds for any object up to 511 bytes".
+
+We model it as a second instantiation of the same parametric compression:
+a 32-bit address with an 11-bit bottom mantissa gives byte-exact bounds
+for lengths up to ``2**9 - 1 = 511`` bytes, matching the published
+granularity.  The permission set is the compressed embedded profile (no
+separate seal/unseal/store-local bits in the encoding; sealing authority
+is modelled as always-granted for the RTOS'd allocator).
+
+Having two live architectures is what keeps the semantics honest about
+which parts are implementation-defined (S3.10); the cross-architecture
+tests and the representability benchmark (DESIGN.md E6) run over both.
+"""
+
+from __future__ import annotations
+
+from repro.capability.abstract import Architecture
+from repro.capability.concentrate import CompressionParams
+from repro.capability.permissions import Permission
+
+CHERIOT_COMPRESSION = CompressionParams(
+    name="cheriot",
+    address_width=32,
+    mantissa_width=11,
+    exponent_low_bits=3,
+)
+
+#: Permission bit order (LSB first) for the 7-bit embedded perms field.
+CHERIOT_PERMS: tuple[Permission, ...] = (
+    Permission.GLOBAL,
+    Permission.LOAD,
+    Permission.STORE,
+    Permission.EXECUTE,
+    Permission.LOAD_CAP,
+    Permission.STORE_CAP,
+    Permission.SYSTEM,
+)
+
+CHERIOT = Architecture(
+    name="cheriot",
+    compression=CHERIOT_COMPRESSION,
+    otype_width=4,
+    perm_order=CHERIOT_PERMS,
+)
+"""The CHERIoT-style architecture instance: 64-bit capabilities + tag."""
+
+assert CHERIOT.capability_size == 8, "CHERIoT capabilities are 64 bits"
+assert CHERIOT_COMPRESSION.max_exact_length == 511, (
+    "CHERIoT-style format must be byte-granular up to 511 bytes")

@@ -1,0 +1,74 @@
+"""Per-capability ghost state.
+
+S4.3: "for each capability-size aligned memory location, we add metadata
+consisting of the capability tag and a two-bit ghost state ... The first
+bit of the ghost state for a given capability indicates whether the tag
+is unspecified, and the second bit indicates whether the address and
+bounds are unspecified."
+
+Ghost state exists only in the *abstract machine*: it is how the
+semantics stays loose enough to make both optimising and non-optimising
+implementations correct (S3.3's non-representable excursions, S3.5's
+representation-byte writes).  Hardware mode never consults it.
+
+Ghost state attaches in two places:
+
+* to capability *values* (a ``(u)intptr_t`` that transiently went
+  non-representable carries ``bounds_unspecified``, S3.3 option (c));
+* to capability-aligned *memory locations* (a non-capability write over a
+  stored capability sets ``tag_unspecified``, S3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GhostState:
+    """The two ghost bits of S4.3.
+
+    Attributes:
+        tag_unspecified: the capability's tag can no longer be relied on;
+            dereferencing is ``UB_CHERI_UndefinedTag`` and reading the tag
+            via ``cheri_tag_get`` yields an unspecified value.
+        bounds_unspecified: the bounds (and address-derived metadata) are
+            unspecified, e.g. after a non-representable ``(u)intptr_t``
+            excursion; inspecting bounds yields unspecified values and
+            memory access is UB.
+    """
+
+    tag_unspecified: bool = False
+    bounds_unspecified: bool = False
+
+    @classmethod
+    def clean(cls) -> "GhostState":
+        return _CLEAN
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.tag_unspecified or self.bounds_unspecified)
+
+    def with_tag_unspecified(self) -> "GhostState":
+        return GhostState(True, self.bounds_unspecified)
+
+    def with_bounds_unspecified(self) -> "GhostState":
+        return GhostState(self.tag_unspecified, True)
+
+    def merge(self, other: "GhostState") -> "GhostState":
+        """Join two ghost states (unspecifiedness is sticky)."""
+        return GhostState(
+            self.tag_unspecified or other.tag_unspecified,
+            self.bounds_unspecified or other.bounds_unspecified,
+        )
+
+    def describe(self) -> str:
+        bits = []
+        if self.tag_unspecified:
+            bits.append("tag?")
+        if self.bounds_unspecified:
+            bits.append("bounds?")
+        return ",".join(bits) if bits else "clean"
+
+
+_CLEAN = GhostState()

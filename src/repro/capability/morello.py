@@ -1,0 +1,60 @@
+"""The Morello-style 128+1-bit capability format.
+
+S2.1 / Figure 1: Morello capabilities are 128+1 bits; the lower 64 bits
+carry the virtual address and the upper 64 bits encode bounds (87 bits
+total, 56 shared with the address via compression), an 18-bit permission
+field (``perms[17:2]`` plus global/executive), and a 15-bit object type.
+
+Our layout reproduces the field *widths* of Figure 1 -- 64-bit address,
+16/14-bit B/T mantissas with a 6-bit internal exponent, 15-bit otype,
+18 permissions -- over the published CHERI Concentrate algorithm.  The
+exact Morello bit interleaving (which shares bound bits with the address
+field) differs, which is invisible to CHERI C: S3.10 fixes the abstract
+scope of compression to address/flags/bounds and the semantics never
+inspects raw bit positions except through intrinsics.
+"""
+
+from __future__ import annotations
+
+from repro.capability.abstract import Architecture
+from repro.capability.concentrate import CompressionParams
+from repro.capability.permissions import Permission
+
+MORELLO_COMPRESSION = CompressionParams(
+    name="morello",
+    address_width=64,
+    mantissa_width=16,
+    exponent_low_bits=3,
+)
+
+#: Permission bit order (LSB first) for the 18-bit Morello perms field.
+MORELLO_PERMS: tuple[Permission, ...] = (
+    Permission.GLOBAL,
+    Permission.EXECUTIVE,
+    Permission.USER0,
+    Permission.USER1,
+    Permission.USER2,
+    Permission.USER3,
+    Permission.MUTABLE_LOAD,
+    Permission.COMPARTMENT_ID,
+    Permission.BRANCH_SEALED_PAIR,
+    Permission.SYSTEM,
+    Permission.UNSEAL,
+    Permission.SEAL,
+    Permission.STORE_LOCAL_CAP,
+    Permission.STORE_CAP,
+    Permission.LOAD_CAP,
+    Permission.EXECUTE,
+    Permission.STORE,
+    Permission.LOAD,
+)
+
+MORELLO = Architecture(
+    name="morello",
+    compression=MORELLO_COMPRESSION,
+    otype_width=15,
+    perm_order=MORELLO_PERMS,
+)
+"""The Morello architecture instance: 128-bit capabilities + tag."""
+
+assert MORELLO.capability_size == 16, "Morello capabilities are 128 bits"

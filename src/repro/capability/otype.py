@@ -1,0 +1,75 @@
+"""Object types and sealing.
+
+S2.1: "Capabilities can also be sealed, making them immutable and
+unusable for anything but branching to them ... Some variations of this
+are indexed by an object type otype."
+
+S3.10: "The object type field width and values could vary" between
+architectures, so the width is an :class:`~repro.capability.abstract.Architecture`
+parameter and this module only fixes the reserved values common to the
+CHERI ISAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OType:
+    """An object type value.
+
+    Reserved values follow the CHERI ISA convention: 0 is "unsealed",
+    small values are hardware sealing forms (sentries), and values from
+    :data:`FIRST_USER` upward are available to software via ``CSeal``.
+    """
+
+    value: int
+
+    UNSEALED_VALUE = 0
+    SENTRY_VALUE = 1
+    LOAD_PAIR_BRANCH_VALUE = 2
+    LOAD_BRANCH_VALUE = 3
+    FIRST_USER = 4
+
+    @classmethod
+    def unsealed(cls) -> "OType":
+        return cls(cls.UNSEALED_VALUE)
+
+    @classmethod
+    def sentry(cls) -> "OType":
+        """Sealed-entry otype used for function pointers in CHERI C."""
+        return cls(cls.SENTRY_VALUE)
+
+    @classmethod
+    def user(cls, index: int) -> "OType":
+        """The ``index``-th software-available object type."""
+        if index < 0:
+            raise ValueError("user otype index must be non-negative")
+        return cls(cls.FIRST_USER + index)
+
+    @property
+    def is_unsealed(self) -> bool:
+        return self.value == self.UNSEALED_VALUE
+
+    @property
+    def is_sealed(self) -> bool:
+        return self.value != self.UNSEALED_VALUE
+
+    @property
+    def is_sentry(self) -> bool:
+        return self.value == self.SENTRY_VALUE
+
+    @property
+    def is_reserved(self) -> bool:
+        """True for hardware-reserved otype values."""
+        return self.UNSEALED_VALUE <= self.value < self.FIRST_USER
+
+    def describe(self) -> str:
+        if self.is_unsealed:
+            return "unsealed"
+        if self.is_sentry:
+            return "sentry"
+        if self.is_reserved:
+            return f"reserved({self.value})"
+        return f"otype({self.value})"

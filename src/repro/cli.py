@@ -1,0 +1,77 @@
+"""``cheri-run``: run CHERI C programs and regenerate the paper reports.
+
+Usage::
+
+    cheri-run test.c                  # reference semantics (cerberus)
+    cheri-run test.c --impl clang-riscv-O3
+    cheri-run test.c --all            # compare every implementation
+    cheri-run --report table1        # regenerate Table 1
+    cheri-run --report compliance    # the S5 comparison
+    cheri-run --list                 # list known implementations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.impls import ALL_IMPLEMENTATIONS, by_name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cheri-run",
+        description="Run a CHERI C program under the executable semantics")
+    parser.add_argument("file", nargs="?", help="C source file")
+    parser.add_argument("--impl", default="cerberus",
+                        help="implementation name (default: cerberus)")
+    parser.add_argument("--all", action="store_true",
+                        help="run under every implementation and compare")
+    parser.add_argument("--report", choices=("table1", "compliance"),
+                        help="regenerate a paper artefact instead of "
+                             "running a file")
+    parser.add_argument("--list", action="store_true",
+                        help="list the known implementations")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        from repro.impls.registry import _BY_NAME
+        for name in sorted(_BY_NAME):
+            print(f"{name:32s} {_BY_NAME[name].description}")
+        return 0
+
+    if args.report:
+        from repro.reporting.tables import render_compliance, render_table1
+        if args.report == "table1":
+            print(render_table1())
+        else:
+            from repro.testsuite.compare import compare_implementations
+            reports = compare_implementations(ALL_IMPLEMENTATIONS)
+            print(render_compliance(reports))
+        return 0
+
+    if args.file is None:
+        parser.error("a C source file is required unless --report/--list "
+                     "is given")
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+
+    if args.all:
+        for impl in ALL_IMPLEMENTATIONS:
+            outcome = impl.run(source)
+            print(f"== {impl.name}: {outcome.describe()}")
+            if outcome.stdout:
+                sys.stdout.write(outcome.stdout)
+        return 0
+
+    impl = by_name(args.impl)
+    outcome = impl.run(source)
+    if outcome.stdout:
+        sys.stdout.write(outcome.stdout)
+    print(f"[{impl.name}] {outcome.describe()}", file=sys.stderr)
+    return outcome.exit_status if outcome.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

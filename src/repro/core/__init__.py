@@ -1,0 +1,15 @@
+"""The executable semantics: C-subset frontend plus evaluator (S4).
+
+Cerberus expresses ISO C as an elaboration into a small Core language
+plus a memory object model.  Our frontend is narrower -- a direct
+recursive-descent parser and AST evaluator for the C subset that the
+paper's test programs exercise -- but the division of labour is the
+same: *all* memory-related semantics lives in :mod:`repro.memory`; this
+package only performs typing, conversions, control flow, and the
+explicit capability-derivation elaboration of S4.4.
+"""
+
+from repro.core.interp import Interpreter, run_program
+from repro.core.cparser import parse_program
+
+__all__ = ["Interpreter", "run_program", "parse_program"]

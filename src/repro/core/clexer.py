@@ -1,0 +1,319 @@
+"""Lexer (with a minimal preprocessor) for the CHERI C subset.
+
+The preprocessor supports what the paper's test programs need:
+``#include`` lines are recognised and skipped (the standard headers'
+contents -- ``stdint.h`` typedefs, ``limits.h`` macros, the CHERI
+intrinsics of ``cheriintrin.h`` -- are built into the parser and
+interpreter), and object-like ``#define`` macros are expanded at the
+token level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CSyntaxError
+
+KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "signed", "unsigned", "_Bool",
+    "const", "volatile", "static", "extern", "struct", "union", "enum",
+    "typedef", "sizeof", "return", "if", "else", "while", "do", "for",
+    "break", "continue", "switch", "case", "default", "goto", "float",
+    "double", "inline", "restrict", "_Alignof",
+})
+
+#: Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "id", "kw", "num", "char", "str", "punct", "eof"
+    text: str
+    line: int
+    col: int
+    value: object = None   # int value for num/char; decoded str for str
+    suffix: str = ""       # numeric suffix, lowercased (e.g. "ul")
+    base: int = 10         # numeric base (8/10/16)
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind == "punct" and self.text in texts
+
+    def is_kw(self, *names: str) -> bool:
+        return self.kind == "kw" and self.text in names
+
+
+#: Predefined object-like macros (the capprint.h helper of Appendix A:
+#: ``"%" PTR_FMT`` formats a capability string produced by ``sptr``).
+PREDEFINED_MACROS: dict[str, list] = {
+    "PTR_FMT": [Token("str", '"s"', 0, 0, value="s")],
+}
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.macros: dict[str, list[Token]] = dict(PREDEFINED_MACROS)
+
+    def error(self, message: str) -> CSyntaxError:
+        return CSyntaxError(message, self.line, self.col)
+
+    # -- character helpers ----------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self) -> str:
+        if self.pos >= len(self.source):
+            raise self.error("unexpected end of input")
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def _skip_space_and_comments(self, *, stop_at_newline: bool = False) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\n" and stop_at_newline:
+                return
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(), self._advance()
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(), self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise self.error("unterminated comment")
+            else:
+                return
+
+    # -- tokenisation ----------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Tokenise the whole input, applying the mini-preprocessor."""
+        out: list[Token] = []
+        expanding: set[str] = set()
+        while True:
+            tok = self._next_raw()
+            if tok is None:
+                out.append(Token("eof", "", self.line, self.col))
+                return out
+            if tok.kind == "id" and tok.text in self.macros:
+                out.extend(self._expand(tok.text, expanding))
+            else:
+                out.append(tok)
+
+    def _expand(self, name: str, expanding: set[str]) -> list[Token]:
+        if name in expanding:
+            return [Token("id", name, self.line, self.col)]
+        expanding = expanding | {name}
+        out: list[Token] = []
+        for tok in self.macros[name]:
+            if tok.kind == "id" and tok.text in self.macros:
+                out.extend(self._expand(tok.text, expanding))
+            else:
+                out.append(tok)
+        return out
+
+    def _next_raw(self) -> Token | None:
+        while True:
+            self._skip_space_and_comments()
+            if self.pos >= len(self.source):
+                return None
+            if self._peek() == "#" and self.col == 1 or (
+                    self._peek() == "#" and self._at_line_start()):
+                self._preprocessor_line()
+                continue
+            break
+        line, col = self.line, self.col
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, col)
+        if ch == "'":
+            return self._char_const(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                for _ in punct:
+                    self._advance()
+                return Token("punct", punct, line, col)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _at_line_start(self) -> bool:
+        i = self.pos - 1
+        while i >= 0 and self.source[i] in " \t":
+            i -= 1
+        return i < 0 or self.source[i] == "\n"
+
+    # -- preprocessor -----------------------------------------------------
+
+    def _preprocessor_line(self) -> None:
+        self._advance()  # '#'
+        self._skip_space_and_comments(stop_at_newline=True)
+        directive = ""
+        while self._peek().isalpha():
+            directive += self._advance()
+        if directive in ("include", "pragma", "undef", ""):
+            self._skip_to_eol()
+            return
+        if directive == "define":
+            self._define()
+            return
+        raise self.error(f"unsupported preprocessor directive #{directive}")
+
+    def _define(self) -> None:
+        self._skip_space_and_comments(stop_at_newline=True)
+        if not (self._peek().isalpha() or self._peek() == "_"):
+            raise self.error("#define needs a name")
+        line, col = self.line, self.col
+        name_tok = self._identifier(line, col)
+        if self._peek() == "(":
+            raise self.error("function-like macros are not supported")
+        body: list[Token] = []
+        while True:
+            self._skip_space_and_comments(stop_at_newline=True)
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                break
+            start = self.line
+            tok = self._next_body_token()
+            if tok is None or tok.line != start:
+                break
+            body.append(tok)
+        self.macros[name_tok.text] = body
+
+    def _next_body_token(self) -> Token | None:
+        line, col = self.line, self.col
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, col)
+        if ch.isdigit():
+            return self._number(line, col)
+        if ch == "'":
+            return self._char_const(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                for _ in punct:
+                    self._advance()
+                return Token("punct", punct, line, col)
+        return None
+
+    def _skip_to_eol(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    # -- token classes ------------------------------------------------------
+
+    def _identifier(self, line: int, col: int) -> Token:
+        text = ""
+        while self._peek().isalnum() or self._peek() == "_":
+            text += self._advance()
+        kind = "kw" if text in KEYWORDS else "id"
+        return Token(kind, text, line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        text = ""
+        base = 10
+        if self._peek() == "0" and self._peek(1) in "xX":
+            base = 16
+            text += self._advance() + self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+        else:
+            while self._peek().isdigit():
+                text += self._advance()
+            if text.startswith("0") and len(text) > 1:
+                base = 8
+        if base == 10 and self._peek() and self._peek() in ".eE":
+            if self._peek() == "." or (self._peek() in "eE"
+                                       and self._peek(1).isdigit()):
+                raise self.error("floating-point constants not supported")
+        suffix = ""
+        while self._peek() and self._peek() in "uUlL":
+            suffix += self._advance().lower()
+        digits = text[2:] if base == 16 else text
+        value = int(digits, base) if digits else 0
+        return Token("num", text + suffix, line, col, value=value,
+                     suffix=suffix, base=base)
+
+    def _char_const(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance()
+            value = self._escape()
+        else:
+            value = ord(self._advance())
+        if self._peek() != "'":
+            raise self.error("unterminated character constant")
+        self._advance()
+        return Token("char", f"'{chr(value)}'", line, col, value=value)
+
+    def _escape(self) -> int:
+        ch = self._advance()
+        simple = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+                  '"': 34, "a": 7, "b": 8, "f": 12, "v": 11}
+        if ch in simple:
+            return simple[ch]
+        if ch == "x":
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            return int(digits, 16) & 0xFF
+        raise self.error(f"unsupported escape \\{ch}")
+
+    def _string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error("unterminated string literal")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                chars.append(chr(self._escape()))
+            else:
+                chars.append(self._advance())
+        return Token("str", '"' + "".join(chars) + '"', line, col,
+                     value="".join(chars))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex a translation unit, merging adjacent string literals."""
+    toks = Lexer(source).tokens()
+    out: list[Token] = []
+    for tok in toks:
+        if (tok.kind == "str" and out and out[-1].kind == "str"):
+            prev = out.pop()
+            merged = prev.value + tok.value  # type: ignore[operator]
+            out.append(Token("str", f'"{merged}"', prev.line, prev.col,
+                             value=merged))
+        else:
+            out.append(tok)
+    return out

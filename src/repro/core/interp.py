@@ -1,0 +1,1141 @@
+"""The CHERI C abstract-machine evaluator.
+
+This is the executable semantics of S4: a typed AST evaluator in which
+*every* memory effect goes through the
+:class:`~repro.memory.model.MemoryModel`, so that the semantic content --
+capability checks, ghost state, provenance, UB detection -- lives in one
+place and this module contributes only what Cerberus's Core elaboration
+contributes: conversions (with CHERI C's integer ranks), the explicit
+capability-derivation step for arithmetic (S4.4), control flow, and
+calling convention.
+
+The same evaluator runs in abstract mode (the paper's semantics: UB is
+reported at the point the abstract machine reaches it) and in hardware
+mode (the simulated Clang/GCC implementations: traps, real tag clears,
+wrapping arithmetic), selected by the memory model's mode.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.capability.permissions import Permission
+from repro.core import builtins as builtin_mod
+from repro.core.cast import (
+    AlignofType, Assign, Binary, Block, Break, Call, Cast, Comma,
+    Conditional, Continue, Declarator, DeclStmt, Empty, Expr, ExprStmt, For,
+    FuncDef, GlobalDecl, Ident, If, Index, InitList, IntLit, Member,
+    OffsetofExpr, Program, Return, SizeofExpr, SizeofType, Stmt, StrLit,
+    Switch, Unary, VaArg, While,
+)
+from repro.ctypes.layout import TargetLayout
+from repro.ctypes.types import (
+    ArrayT, BOOL, CType, FuncT, IKind, INT, Integer, Pointer, StructT,
+    UnionT, VOID, Void,
+)
+from repro.errors import (
+    AssertionFailure, CheriTrap, CSyntaxError, CTypeError, Outcome,
+    TrapKind, UB, UndefinedBehaviour,
+)
+from repro.memory.allocation import AllocKind
+from repro.memory.derivation import derive
+from repro.memory.intrinsics import Intrinsics
+from repro.memory.model import MemoryModel
+from repro.memory.values import (
+    IntegerValue, MemoryValue, MVArray, MVInteger, MVPointer, MVStruct,
+    MVUnion, MVUnspecified, PointerValue,
+)
+
+
+class ReturnSignal(Exception):
+    def __init__(self, value: MemoryValue | None) -> None:
+        self.value = value
+
+
+class BreakSignal(Exception):
+    pass
+
+
+class ContinueSignal(Exception):
+    pass
+
+
+class ExitSignal(Exception):
+    def __init__(self, status: int) -> None:
+        self.status = status
+
+
+class AbortSignal(Exception):
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+
+
+@dataclass
+class Binding:
+    ctype: CType
+    ptr: PointerValue
+    alloc_id: int
+
+
+class Frame:
+    """One function activation: scope chain + cleanup bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.scopes: list[dict[str, Binding]] = [{}]
+        self.allocs: list[int] = []
+        self.varargs: list[tuple[CType, MemoryValue]] = []
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def bind(self, name: str, binding: Binding) -> None:
+        self.scopes[-1][name] = binding
+
+    def lookup(self, name: str) -> Binding | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+#: The evaluation step budget: the executable semantics is a test oracle
+#: for small programs, so runaway loops indicate a broken test.
+STEP_LIMIT = 2_000_000
+
+
+class Interpreter:
+    """Evaluate one translation unit against one memory model."""
+
+    def __init__(self, program: Program, model: MemoryModel) -> None:
+        self.program = program
+        self.model = model
+        self.layout: TargetLayout = model.layout
+        self.arch = model.arch
+        self.intrinsics = Intrinsics(model)
+        self.out = io.StringIO()
+        self.functions: dict[str, FuncDef] = {}
+        self.func_ptrs: dict[str, PointerValue] = {}
+        self.func_by_addr: dict[int, str] = {}
+        self.globals: dict[str, Binding] = {}
+        self.statics: dict[tuple[str, str], Binding] = {}
+        self.string_literals: dict[str, PointerValue] = {}
+        self.frames: list[Frame] = []
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self, main: str = "main") -> Outcome:
+        try:
+            self._setup()
+            fdef = self.functions.get(main)
+            if fdef is None or fdef.body is None:
+                return Outcome.frontend_error(f"no function {main!r}")
+            result = self.call_function(fdef, [])
+            status = 0
+            if result is not None and isinstance(result, MVInteger):
+                status = self.layout.wrap(IKind.INT, result.ival.value())
+            return Outcome.exited(status, self.out.getvalue())
+        except UndefinedBehaviour as exc:
+            return Outcome.undefined(exc.ub, exc.detail, self.out.getvalue())
+        except CheriTrap as exc:
+            return Outcome.trapped(exc.kind, exc.detail, self.out.getvalue())
+        except AssertionFailure as exc:
+            return Outcome.aborted(str(exc), self.out.getvalue())
+        except AbortSignal as exc:
+            return Outcome.aborted(exc.detail, self.out.getvalue())
+        except ExitSignal as exc:
+            return Outcome.exited(exc.status, self.out.getvalue())
+        except (CSyntaxError, CTypeError) as exc:
+            return Outcome.frontend_error(str(exc))
+
+    def _setup(self) -> None:
+        for fdef in self.program.functions:
+            if fdef.body is None and fdef.name in self.functions:
+                continue
+            if fdef.body is not None or fdef.name not in self.functions:
+                self.functions[fdef.name] = fdef
+        for name, fdef in self.functions.items():
+            ptr = self.model.allocate_function(name)
+            self.func_ptrs[name] = ptr
+            self.func_by_addr[ptr.address] = name
+        # Static storage: allocate all globals first (so initialisers may
+        # take addresses of later globals), then run initialisers in
+        # order; uninitialised static objects are zero (ISO 6.7.9p10).
+        pending: list[tuple[GlobalDecl, Binding]] = []
+        for gdecl in self.program.globals:
+            decl = gdecl.decl
+            readonly = decl.ctype.const or _array_of_const(decl.ctype)
+            ptr = self.model.allocate_object(
+                decl.ctype, AllocKind.GLOBAL, decl.name, readonly=readonly)
+            binding = Binding(decl.ctype, ptr,
+                              ptr.prov.ident if not ptr.prov.is_empty else 0)
+            self.globals[decl.name] = binding
+            pending.append((gdecl, binding))
+        for gdecl, binding in pending:
+            decl = gdecl.decl
+            if decl.init is None:
+                value = self.zero_value(decl.ctype)
+            else:
+                value = self.eval_initializer(decl.init, decl.ctype)
+            self.model.store(decl.ctype, binding.ptr, value,
+                             initialising=True)
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def call_function(self, fdef: FuncDef,
+                      args: list[MemoryValue],
+                      varargs: list[MemoryValue] | None = None
+                      ) -> MemoryValue | None:
+        if fdef.body is None:
+            raise CTypeError(f"call to undefined function {fdef.name!r}")
+        if len(args) != len(fdef.params):
+            raise CTypeError(
+                f"{fdef.name} expects {len(fdef.params)} arguments, "
+                f"got {len(args)}")
+        if len(self.frames) > 200:
+            raise CTypeError("call depth limit exceeded")
+        frame = Frame(fdef.name)
+        mark = self.model.stack_mark()
+        self.frames.append(frame)
+        try:
+            for param, arg in zip(fdef.params, args):
+                value = self.convert(arg, param.ctype)
+                ptr = self.model.allocate_object(
+                    param.ctype, AllocKind.STACK, param.name)
+                self.model.store(param.ctype, ptr, value)
+                frame.bind(param.name, Binding(
+                    param.ctype, ptr,
+                    ptr.prov.ident if not ptr.prov.is_empty else 0))
+                frame.allocs.append(ptr.prov.ident)
+            if varargs:
+                frame.varargs = [(v.ctype, v) for v in varargs]
+            try:
+                self.exec_block(fdef.body, new_scope=False)
+            except ReturnSignal as ret:
+                if ret.value is None or isinstance(fdef.ret, Void):
+                    return None
+                return self.convert(ret.value, fdef.ret)
+            if fdef.name == "main":
+                return MVInteger(INT, IntegerValue.of_int(0))
+            return None
+        finally:
+            self.frames.pop()
+            for ident in frame.allocs:
+                self.model.kill_allocation(ident)
+            self.model.stack_release(mark)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def exec_block(self, block: Block, *, new_scope: bool = True) -> None:
+        frame = self.frames[-1]
+        if new_scope:
+            frame.push()
+        try:
+            for stmt in block.stmts:
+                self.exec_stmt(stmt)
+        finally:
+            if new_scope:
+                frame.pop()
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        self.steps += 1
+        if self.steps > STEP_LIMIT:
+            raise CTypeError("step limit exceeded (runaway test program)")
+        if isinstance(stmt, Empty):
+            return
+        if isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr)
+            return
+        if isinstance(stmt, DeclStmt):
+            for decl in stmt.decls:
+                self.exec_declaration(decl, static=stmt.static)
+            return
+        if isinstance(stmt, Block):
+            self.exec_block(stmt)
+            return
+        if isinstance(stmt, If):
+            if self.truthy(self.eval(stmt.cond)):
+                self.exec_stmt(stmt.then)
+            elif stmt.other is not None:
+                self.exec_stmt(stmt.other)
+            return
+        if isinstance(stmt, While):
+            if stmt.do_while:
+                while True:
+                    try:
+                        self.exec_stmt(stmt.body)
+                    except BreakSignal:
+                        break
+                    except ContinueSignal:
+                        pass
+                    if not self.truthy(self.eval(stmt.cond)):
+                        break
+            else:
+                while self.truthy(self.eval(stmt.cond)):
+                    try:
+                        self.exec_stmt(stmt.body)
+                    except BreakSignal:
+                        break
+                    except ContinueSignal:
+                        continue
+            return
+        if isinstance(stmt, For):
+            frame = self.frames[-1]
+            frame.push()
+            try:
+                if stmt.init is not None:
+                    self.exec_stmt(stmt.init)
+                while stmt.cond is None or self.truthy(self.eval(stmt.cond)):
+                    try:
+                        self.exec_stmt(stmt.body)
+                    except BreakSignal:
+                        break
+                    except ContinueSignal:
+                        pass
+                    if stmt.step is not None:
+                        self.eval(stmt.step)
+            finally:
+                frame.pop()
+            return
+        if isinstance(stmt, Switch):
+            self._exec_switch(stmt)
+            return
+        if isinstance(stmt, Return):
+            value = self.eval(stmt.value) if stmt.value is not None else None
+            raise ReturnSignal(value)
+        if isinstance(stmt, Break):
+            raise BreakSignal()
+        if isinstance(stmt, Continue):
+            raise ContinueSignal()
+        raise CTypeError(f"unhandled statement {type(stmt).__name__}")
+
+    def exec_declaration(self, decl: Declarator, *, static: bool) -> None:
+        frame = self.frames[-1]
+        if static:
+            key = (frame.name, decl.name)
+            binding = self.statics.get(key)
+            if binding is None:
+                ptr = self.model.allocate_object(
+                    decl.ctype, AllocKind.GLOBAL, decl.name,
+                    readonly=decl.ctype.const)
+                binding = Binding(decl.ctype, ptr,
+                                  ptr.prov.ident if not ptr.prov.is_empty
+                                  else 0)
+                self.statics[key] = binding
+                value = (self.zero_value(decl.ctype) if decl.init is None
+                         else self.eval_initializer(decl.init, decl.ctype))
+                self.model.store(decl.ctype, binding.ptr, value,
+                                 initialising=True)
+            frame.bind(decl.name, binding)
+            return
+        readonly = decl.ctype.const or _array_of_const(decl.ctype)
+        ptr = self.model.allocate_object(
+            decl.ctype, AllocKind.STACK, decl.name, readonly=readonly)
+        binding = Binding(decl.ctype, ptr,
+                          ptr.prov.ident if not ptr.prov.is_empty else 0)
+        frame.bind(decl.name, binding)
+        frame.allocs.append(binding.alloc_id)
+        if decl.init is not None:
+            value = self.eval_initializer(decl.init, decl.ctype)
+            self.model.store(decl.ctype, ptr, value, initialising=True)
+
+    def _exec_switch(self, stmt: Switch) -> None:
+        value = self.eval(stmt.cond)
+        if isinstance(value, MVUnspecified):
+            if not self.model.hardware:
+                raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                         "switch on unspecified value")
+            selector = 0
+        else:
+            selector = self._int_of(value, stmt.line)
+        start = None
+        default = None
+        for case in stmt.cases:
+            if case.value is None:
+                default = case.index
+            elif case.value == selector:
+                start = case.index
+                break
+        if start is None:
+            start = default
+        if start is None:
+            return
+        frame = self.frames[-1]
+        frame.push()
+        try:
+            for sub in stmt.stmts[start:]:
+                self.exec_stmt(sub)
+        except BreakSignal:
+            pass
+        finally:
+            frame.pop()
+
+    # ------------------------------------------------------------------
+    # Initialisers
+    # ------------------------------------------------------------------
+
+    def eval_initializer(self, init: Expr, ctype: CType) -> MemoryValue:
+        if isinstance(init, InitList):
+            return self._init_list(init, ctype)
+        if isinstance(init, StrLit) and isinstance(ctype, ArrayT):
+            data = init.value.encode("latin-1") + b"\x00"
+            elems = []
+            length = ctype.length or len(data)
+            for i in range(length):
+                byte = data[i] if i < len(data) else 0
+                elems.append(MVInteger(ctype.elem,
+                                       IntegerValue.of_int(byte)))
+            return MVArray(ctype, tuple(elems))
+        value = self.eval(init)
+        return self.convert(value, ctype)
+
+    def _init_list(self, init: InitList, ctype: CType) -> MemoryValue:
+        if isinstance(ctype, ArrayT):
+            length = ctype.length if ctype.length is not None \
+                else len(init.items)
+            elems = []
+            for i in range(length):
+                if i < len(init.items):
+                    elems.append(self.eval_initializer(init.items[i],
+                                                       ctype.elem))
+                else:
+                    elems.append(self.zero_value(ctype.elem))
+            return MVArray(ctype, tuple(elems))
+        if isinstance(ctype, UnionT):
+            fields = ctype.fields or ()
+            if not init.items or not fields:
+                return MVUnion(ctype, active="", value=None)
+            first = fields[0]
+            return MVUnion(ctype, active=first.name,
+                           value=self.eval_initializer(init.items[0],
+                                                       first.ctype))
+        if isinstance(ctype, StructT):
+            fields = ctype.fields or ()
+            members = []
+            for i, f in enumerate(fields):
+                if i < len(init.items):
+                    members.append((f.name,
+                                    self.eval_initializer(init.items[i],
+                                                          f.ctype)))
+                else:
+                    members.append((f.name, self.zero_value(f.ctype)))
+            return MVStruct(ctype, tuple(members))
+        if len(init.items) == 1:
+            return self.eval_initializer(init.items[0], ctype)
+        raise CTypeError(f"brace initialiser for scalar type {ctype}")
+
+    def zero_value(self, ctype: CType) -> MemoryValue:
+        """Static-storage zero initialisation (null pointers for
+        capability-carrying types)."""
+        if isinstance(ctype, Pointer):
+            return MVPointer(ctype, self.model.null_pointer())
+        if isinstance(ctype, Integer):
+            return MVInteger(ctype, IntegerValue.of_int(0))
+        if isinstance(ctype, ArrayT):
+            length = ctype.length or 0
+            return MVArray(ctype, tuple(self.zero_value(ctype.elem)
+                                        for _ in range(length)))
+        if isinstance(ctype, UnionT):
+            fields = ctype.fields or ()
+            if not fields:
+                return MVUnion(ctype, active="", value=None)
+            return MVUnion(ctype, active=fields[0].name,
+                           value=self.zero_value(fields[0].ctype))
+        if isinstance(ctype, StructT):
+            return MVStruct(ctype, tuple(
+                (f.name, self.zero_value(f.ctype))
+                for f in (ctype.fields or ())))
+        raise CTypeError(f"cannot zero-initialise {ctype}")
+
+    # ------------------------------------------------------------------
+    # Lvalues
+    # ------------------------------------------------------------------
+
+    def lval(self, expr: Expr) -> tuple[CType, PointerValue]:
+        if isinstance(expr, Ident):
+            binding = self._lookup(expr.name)
+            if binding is None:
+                raise CTypeError(f"undeclared identifier {expr.name!r} "
+                                 f"(line {expr.line})")
+            return binding.ctype, binding.ptr
+        if isinstance(expr, Unary) and expr.op == "*":
+            value = self.eval(expr.operand)
+            ctype, ptr = self._as_pointer(value, expr.line)
+            if isinstance(ctype, Pointer):
+                return ctype.pointee, ptr
+            raise CTypeError(f"cannot dereference {value.ctype}")
+        if isinstance(expr, Index):
+            base = self.eval(expr.base)
+            index = self.eval(expr.index)
+            ctype, ptr = self._as_pointer(base, expr.line)
+            if not isinstance(ctype, Pointer):
+                raise CTypeError(f"cannot index {base.ctype}")
+            n = self._int_of(index, expr.line)
+            shifted = self.model.array_shift(ptr, ctype.pointee, n)
+            return ctype.pointee, shifted
+        if isinstance(expr, Member):
+            if expr.arrow:
+                base = self.eval(expr.base)
+                btype, bptr = self._as_pointer(base, expr.line)
+                if not isinstance(btype, Pointer) or \
+                        not isinstance(btype.pointee, StructT):
+                    raise CTypeError(f"-> on non-struct-pointer "
+                                     f"{base.ctype}")
+                stype = btype.pointee
+            else:
+                stype_, bptr = self.lval(expr.base)
+                if not isinstance(stype_, StructT):
+                    raise CTypeError(f". on non-struct {stype_}")
+                stype = stype_
+            member_t = stype.field_type(expr.name)
+            shifted = self.model.member_shift(bptr, stype, expr.name)
+            return member_t, shifted
+        if isinstance(expr, StrLit):
+            ptr = self._string_ptr(expr.value)
+            return ArrayT(elem=Integer(IKind.CHAR, const=True),
+                          length=len(expr.value) + 1), ptr
+        if isinstance(expr, Cast):
+            raise CTypeError("cast expressions are not lvalues")
+        raise CTypeError(
+            f"expression is not an lvalue: {type(expr).__name__} "
+            f"(line {expr.line})")
+
+    def _lookup(self, name: str) -> Binding | None:
+        if self.frames:
+            binding = self.frames[-1].lookup(name)
+            if binding is not None:
+                return binding
+        return self.globals.get(name)
+
+    def _string_ptr(self, text: str) -> PointerValue:
+        ptr = self.string_literals.get(text)
+        if ptr is None:
+            ptr = self.model.allocate_string(text.encode("latin-1"),
+                                             name="string-literal")
+            self.string_literals[text] = ptr
+        return ptr
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: Expr) -> MemoryValue:
+        self.steps += 1
+        if self.steps > STEP_LIMIT:
+            raise CTypeError("step limit exceeded (runaway test program)")
+        method = getattr(self, "_eval_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise CTypeError(f"unhandled expression {type(expr).__name__}")
+        return method(expr)
+
+    def _eval_intlit(self, expr: IntLit) -> MemoryValue:
+        ctype = expr.ctype or INT
+        return MVInteger(ctype, IntegerValue.of_int(expr.value))
+
+    def _eval_strlit(self, expr: StrLit) -> MemoryValue:
+        ptr = self._string_ptr(expr.value)
+        return MVPointer(Pointer(Integer(IKind.CHAR, const=True)), ptr)
+
+    def _eval_ident(self, expr: Ident) -> MemoryValue:
+        if expr.name in self.functions:
+            fdef = self.functions[expr.name]
+            ftype = FuncT(ret=fdef.ret,
+                          params=tuple(p.ctype for p in fdef.params),
+                          variadic=fdef.variadic)
+            return MVPointer(Pointer(ftype), self.func_ptrs[expr.name])
+        if expr.name in ("stderr", "stdout"):
+            return MVPointer(Pointer(VOID), self.model.null_pointer(
+                1 if expr.name == "stderr" else 2))
+        ctype, ptr = self.lval(expr)
+        return self._load_decayed(ctype, ptr)
+
+    def _load_decayed(self, ctype: CType,
+                      ptr: PointerValue) -> MemoryValue:
+        if isinstance(ctype, ArrayT):
+            # Array-to-pointer decay: same capability, element type.
+            return MVPointer(Pointer(ctype.elem), ptr)
+        if isinstance(ctype, FuncT):
+            return MVPointer(Pointer(ctype), ptr)
+        return self.model.load(ctype, ptr)
+
+    def _eval_unary(self, expr: Unary) -> MemoryValue:
+        op = expr.op
+        if op == "&":
+            if isinstance(expr.operand, Ident) and \
+                    expr.operand.name in self.functions:
+                return self._eval_ident(expr.operand)
+            ctype, ptr = self.lval(expr.operand)
+            return MVPointer(Pointer(ctype), ptr)
+        if op == "*":
+            ctype, ptr = self.lval(expr)
+            return self._load_decayed(ctype, ptr)
+        if op in ("++", "--"):
+            return self._eval_incdec(expr)
+        value = self.eval(expr.operand)
+        if op == "!":
+            return MVInteger(INT,
+                             IntegerValue.of_int(0 if self.truthy(value)
+                                                 else 1))
+        if isinstance(value, MVUnspecified):
+            return MVUnspecified(value.ctype)
+        if not isinstance(value, MVInteger):
+            raise CTypeError(f"unary {op} on {value.ctype}")
+        promoted = self.integer_promote(value)
+        kind = promoted.ctype.kind  # type: ignore[union-attr]
+        raw = promoted.ival.value()
+        if op == "-":
+            result = -raw
+        elif op == "+":
+            result = raw
+        elif op == "~":
+            result = ~raw
+        else:
+            raise CTypeError(f"unhandled unary {op}")
+        result = self._finish_arith(kind, result, expr.line)
+        ival = derive(promoted.ival, None, result,
+                      signed=kind.is_signed, hardware=self.model.hardware,
+                      model=self.model)
+        return MVInteger(promoted.ctype, ival)
+
+    def _eval_incdec(self, expr: Unary) -> MemoryValue:
+        ctype, ptr = self.lval(expr.operand)
+        old = self.model.load(ctype, ptr)
+        delta = 1 if expr.op == "++" else -1
+        if isinstance(ctype, Pointer):
+            if not isinstance(old, MVPointer):
+                raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                         "++/-- on uninitialised pointer")
+            moved = self.model.array_shift(old.ptr, ctype.pointee, delta)
+            new = MVPointer(ctype, moved)
+        else:
+            if not isinstance(old, MVInteger):
+                raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                         "++/-- on uninitialised value")
+            kind = old.ctype.kind  # type: ignore[union-attr]
+            result = self._finish_arith(kind, old.ival.value() + delta,
+                                        expr.line)
+            new = MVInteger(old.ctype,
+                            derive(old.ival, None, result,
+                                   signed=kind.is_signed,
+                                   hardware=self.model.hardware,
+                      model=self.model))
+        self.model.store(ctype, ptr, new)
+        return old if expr.postfix else new
+
+    def _eval_binary(self, expr: Binary) -> MemoryValue:
+        op = expr.op
+        if op == "&&":
+            if not self.truthy(self.eval(expr.lhs)):
+                return MVInteger(INT, IntegerValue.of_int(0))
+            return MVInteger(INT, IntegerValue.of_int(
+                1 if self.truthy(self.eval(expr.rhs)) else 0))
+        if op == "||":
+            if self.truthy(self.eval(expr.lhs)):
+                return MVInteger(INT, IntegerValue.of_int(1))
+            return MVInteger(INT, IntegerValue.of_int(
+                1 if self.truthy(self.eval(expr.rhs)) else 0))
+        lhs = self.eval(expr.lhs)
+        rhs = self.eval(expr.rhs)
+        return self.binary_op(op, lhs, rhs, expr.line)
+
+    def binary_op(self, op: str, lhs: MemoryValue, rhs: MemoryValue,
+                  line: int) -> MemoryValue:
+        lptr = isinstance(lhs, MVPointer)
+        rptr = isinstance(rhs, MVPointer)
+        if lptr or rptr:
+            return self._pointer_binary(op, lhs, rhs, line)
+        if isinstance(lhs, MVUnspecified) or isinstance(rhs, MVUnspecified):
+            return MVUnspecified(lhs.ctype if isinstance(lhs, MVUnspecified)
+                                 else rhs.ctype)
+        if not (isinstance(lhs, MVInteger) and isinstance(rhs, MVInteger)):
+            raise CTypeError(f"binary {op} on {lhs.ctype} and {rhs.ctype}")
+        if op in ("<<", ">>"):
+            return self._shift(op, lhs, rhs, line)
+        lhs2, rhs2 = self.usual_arith(lhs, rhs)
+        kind = lhs2.ctype.kind  # type: ignore[union-attr]
+        a, b = lhs2.ival.value(), rhs2.ival.value()
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            result = {"==": a == b, "!=": a != b, "<": a < b,
+                      ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+            return MVInteger(INT, IntegerValue.of_int(int(result)))
+        if op in ("/", "%") and b == 0:
+            if self.model.hardware:
+                # Arm semantics: division by zero yields zero, no trap.
+                return MVInteger(lhs2.ctype, IntegerValue.of_int(0))
+            raise UndefinedBehaviour(UB.DIVISION_BY_ZERO, f"line {line}")
+        result = {
+            "+": a + b, "-": a - b, "*": a * b,
+            "/": _c_div(a, b) if op == "/" else 0,
+            "%": _c_mod(a, b) if op == "%" else 0,
+            "&": a & b, "|": a | b, "^": a ^ b,
+        }[op]
+        result = self._finish_arith(kind, result, line)
+        ival = derive(lhs2.ival, rhs2.ival, result,
+                      signed=kind.is_signed, hardware=self.model.hardware,
+                      model=self.model)
+        return MVInteger(lhs2.ctype, ival)
+
+    def _shift(self, op: str, lhs: MVInteger, rhs: MVInteger,
+               line: int) -> MemoryValue:
+        lhs2 = self.integer_promote(lhs)
+        kind = lhs2.ctype.kind  # type: ignore[union-attr]
+        width = self.layout.value_width(kind)
+        amount = rhs.ival.value()
+        a = lhs2.ival.value()
+        if amount < 0 or amount >= width:
+            if self.model.hardware:
+                amount %= width
+            else:
+                raise UndefinedBehaviour(UB.SHIFT_OUT_OF_RANGE,
+                                         f"shift by {amount} (line {line})")
+        result = a << amount if op == "<<" else _c_shr(a, amount, kind)
+        if op == "<<" and kind.is_signed and not self.model.hardware and \
+                not self.layout.in_range(kind, result):
+            raise UndefinedBehaviour(UB.SIGNED_OVERFLOW,
+                                     f"<< overflow (line {line})")
+        result = self.layout.wrap(kind, result)
+        ival = derive(lhs2.ival, None, result,
+                      signed=kind.is_signed, hardware=self.model.hardware,
+                      model=self.model)
+        return MVInteger(lhs2.ctype, ival)
+
+    def _pointer_binary(self, op: str, lhs: MemoryValue, rhs: MemoryValue,
+                        line: int) -> MemoryValue:
+        if op == "+":
+            if isinstance(lhs, MVPointer) and isinstance(rhs, MVInteger):
+                return self._ptr_add(lhs, rhs, line)
+            if isinstance(rhs, MVPointer) and isinstance(lhs, MVInteger):
+                return self._ptr_add(rhs, lhs, line)
+            raise CTypeError("invalid pointer addition")
+        if op == "-":
+            if isinstance(lhs, MVPointer) and isinstance(rhs, MVInteger):
+                neg = MVInteger(rhs.ctype,
+                                IntegerValue.of_int(-rhs.ival.value()))
+                return self._ptr_add(lhs, neg, line)
+            if isinstance(lhs, MVPointer) and isinstance(rhs, MVPointer):
+                elem = lhs.ctype.pointee  # type: ignore[union-attr]
+                diff = self.model.diff(lhs.ptr, rhs.ptr, elem)
+                from repro.ctypes.types import PTRDIFF_T
+                return MVInteger(PTRDIFF_T, IntegerValue.of_int(diff))
+            raise CTypeError("invalid pointer subtraction")
+        if op in ("==", "!="):
+            pa = self._coerce_ptr_operand(lhs)
+            pb = self._coerce_ptr_operand(rhs)
+            same = self.model.eq(pa, pb)
+            return MVInteger(INT, IntegerValue.of_int(
+                int(same if op == "==" else not same)))
+        if op in ("<", ">", "<=", ">="):
+            pa = self._coerce_ptr_operand(lhs)
+            pb = self._coerce_ptr_operand(rhs)
+            return MVInteger(INT, IntegerValue.of_int(
+                int(self.model.relational(op, pa, pb))))
+        raise CTypeError(f"invalid pointer operation {op!r}")
+
+    def _ptr_add(self, ptr: MVPointer, offset: MVInteger,
+                 line: int) -> MemoryValue:
+        if isinstance(offset, MVUnspecified):
+            raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                     f"pointer offset (line {line})")
+        elem = ptr.ctype.pointee  # type: ignore[union-attr]
+        moved = self.model.array_shift(ptr.ptr, elem, offset.ival.value())
+        return MVPointer(ptr.ctype, moved)
+
+    def _coerce_ptr_operand(self, value: MemoryValue) -> PointerValue:
+        if isinstance(value, MVPointer):
+            return value.ptr
+        if isinstance(value, MVInteger):
+            # Comparing a pointer with an integer (usually the 0 of NULL).
+            return self.model.int_to_ptr(value.ival, VOID)
+        raise CTypeError(f"not a pointer operand: {value.ctype}")
+
+    def _eval_assign(self, expr: Assign) -> MemoryValue:
+        ctype, ptr = self.lval(expr.target)
+        if expr.op:
+            old = self._load_decayed(ctype, ptr)
+            rhs = self.eval(expr.value)
+            value = self.binary_op(expr.op, old, rhs, expr.line)
+        else:
+            value = self.eval(expr.value)
+        converted = self.convert(value, ctype)
+        if isinstance(ctype, UnionT):
+            raise CTypeError("whole-union assignment is not supported")
+        self.model.store(ctype, ptr, converted)
+        return converted
+
+    def _eval_conditional(self, expr: Conditional) -> MemoryValue:
+        if self.truthy(self.eval(expr.cond)):
+            return self.eval(expr.then)
+        return self.eval(expr.other)
+
+    def _eval_cast(self, expr: Cast) -> MemoryValue:
+        value = self.eval(expr.operand)
+        return self.convert(value, expr.ctype, explicit=True)
+
+    def _eval_comma(self, expr: Comma) -> MemoryValue:
+        self.eval(expr.lhs)
+        return self.eval(expr.rhs)
+
+    def _eval_sizeoftype(self, expr: SizeofType) -> MemoryValue:
+        from repro.ctypes.types import SIZE_T
+        return MVInteger(SIZE_T,
+                         IntegerValue.of_int(self.layout.sizeof(expr.ctype)))
+
+    def _eval_sizeofexpr(self, expr: SizeofExpr) -> MemoryValue:
+        from repro.ctypes.types import SIZE_T
+        ctype = self.type_of(expr.operand)
+        return MVInteger(SIZE_T,
+                         IntegerValue.of_int(self.layout.sizeof(ctype)))
+
+    def _eval_alignoftype(self, expr: AlignofType) -> MemoryValue:
+        from repro.ctypes.types import SIZE_T
+        return MVInteger(SIZE_T,
+                         IntegerValue.of_int(self.layout.alignof(expr.ctype)))
+
+    def _eval_offsetofexpr(self, expr: OffsetofExpr) -> MemoryValue:
+        from repro.ctypes.types import SIZE_T
+        if not isinstance(expr.ctype, StructT):
+            raise CTypeError("offsetof requires a struct/union type")
+        return MVInteger(SIZE_T, IntegerValue.of_int(
+            self.layout.offsetof(expr.ctype, expr.member)))
+
+    def _eval_index(self, expr: Index) -> MemoryValue:
+        ctype, ptr = self.lval(expr)
+        return self._load_decayed(ctype, ptr)
+
+    def _eval_member(self, expr: Member) -> MemoryValue:
+        ctype, ptr = self.lval(expr)
+        return self._load_decayed(ctype, ptr)
+
+    def _eval_initlist(self, expr: InitList) -> MemoryValue:
+        raise CTypeError("initialiser list outside a declaration")
+
+    def _eval_vaarg(self, expr: VaArg) -> MemoryValue:
+        ctype, ptr = self.lval(expr.ap)
+        state = self.model.load(ctype, ptr)
+        index = self._int_of(state, expr.line)
+        frame = self.frames[-1]
+        if not 0 <= index < len(frame.varargs):
+            raise UndefinedBehaviour(
+                UB.READ_UNINITIALISED,
+                f"va_arg past the end of the argument list "
+                f"(line {expr.line})")
+        _vt, value = frame.varargs[index]
+        self.model.store(ctype, ptr, MVInteger(
+            state.ctype, IntegerValue.of_int(index + 1)))
+        return self.convert(value, expr.ctype)
+
+    def _eval_call(self, expr: Call) -> MemoryValue:
+        if isinstance(expr.func, Ident):
+            name = expr.func.name
+            if name in ("va_start", "va_end", "va_copy"):
+                return self._eval_va_builtin(name, expr)
+            binding = self._lookup(name)
+            if binding is None:
+                if name in builtin_mod.BUILTIN_NAMES and \
+                        name not in self.functions:
+                    args = [self.eval(a) for a in expr.args]
+                    result = builtin_mod.dispatch(self, name, args,
+                                                  expr.line)
+                    return result if result is not None else \
+                        MVInteger(INT, IntegerValue.of_int(0))
+                if name in self.functions:
+                    return self._call_user(self.functions[name], expr)
+                raise CTypeError(f"call to unknown function {name!r} "
+                                 f"(line {expr.line})")
+            # A local/global object: call through the stored pointer.
+        # Call through a function pointer.
+        target = self.eval(expr.func)
+        if not isinstance(target, MVPointer):
+            raise CTypeError("called object is not a function pointer")
+        return self._call_via_pointer(target.ptr, expr)
+
+    def _call_user(self, fdef: FuncDef, expr: Call) -> MemoryValue:
+        args = [self.eval(a) for a in expr.args]
+        fixed = args[:len(fdef.params)]
+        extra = args[len(fdef.params):]
+        if extra and not fdef.variadic:
+            raise CTypeError(f"too many arguments to {fdef.name}")
+        result = self.call_function(fdef, fixed, varargs=extra or None)
+        if result is None:
+            return MVInteger(INT, IntegerValue.of_int(0))
+        return result
+
+    def _call_via_pointer(self, ptr: PointerValue,
+                          expr: Call) -> MemoryValue:
+        cap = ptr.cap
+        if self.model.hardware:
+            if not cap.tag:
+                raise CheriTrap(TrapKind.TAG_VIOLATION,
+                                "branch via untagged capability")
+            if not cap.has_perm(Permission.EXECUTE):
+                raise CheriTrap(TrapKind.PERMISSION_VIOLATION,
+                                "branch without EXECUTE permission")
+        else:
+            if cap.ghost.tag_unspecified:
+                raise UndefinedBehaviour(UB.CHERI_UNDEFINED_TAG,
+                                         "call via manipulated capability")
+            if not cap.tag:
+                raise UndefinedBehaviour(UB.CHERI_INVALID_CAP,
+                                         "call via untagged capability")
+            if not cap.has_perm(Permission.EXECUTE):
+                raise UndefinedBehaviour(UB.CHERI_INSUFFICIENT_PERMISSIONS,
+                                         "call without EXECUTE permission")
+        name = self.func_by_addr.get(cap.address)
+        if name is None:
+            if self.model.hardware:
+                raise CheriTrap(TrapKind.SIGSEGV, "jump to non-code address")
+            raise UndefinedBehaviour(UB.ACCESS_OUT_OF_BOUNDS,
+                                     "call to non-function address")
+        fdef = self.functions[name]
+        return self._call_user(fdef, expr)
+
+    def _eval_va_builtin(self, name: str, expr: Call) -> MemoryValue:
+        zero = MVInteger(INT, IntegerValue.of_int(0))
+        if name == "va_end":
+            return zero
+        if name == "va_start":
+            if len(expr.args) != 2:
+                raise CTypeError("va_start expects (ap, last)")
+            ctype, ptr = self.lval(expr.args[0])
+            self.model.store(ctype, ptr,
+                             MVInteger(ctype, IntegerValue.of_int(0)))
+            return zero
+        # va_copy(dst, src)
+        if len(expr.args) != 2:
+            raise CTypeError("va_copy expects (dst, src)")
+        dt, dp = self.lval(expr.args[0])
+        sv = self.eval(expr.args[1])
+        self.model.store(dt, dp, self.convert(sv, dt))
+        return zero
+
+    # ------------------------------------------------------------------
+    # Conversions (ISO 6.3 with the CHERI C rank rule of S3.7)
+    # ------------------------------------------------------------------
+
+    def integer_promote(self, value: MVInteger) -> MVInteger:
+        kind = value.ctype.kind  # type: ignore[union-attr]
+        if self.layout.rank(kind) < self.layout.rank(IKind.INT):
+            return MVInteger(INT, IntegerValue.of_int(
+                self.layout.wrap(IKind.INT, value.ival.value())))
+        return value
+
+    def usual_arith(self, lhs: MVInteger,
+                    rhs: MVInteger) -> tuple[MVInteger, MVInteger]:
+        lhs = self.integer_promote(lhs)
+        rhs = self.integer_promote(rhs)
+        lk = lhs.ctype.kind  # type: ignore[union-attr]
+        rk = rhs.ctype.kind  # type: ignore[union-attr]
+        if lk == rk:
+            return lhs, rhs
+        common = self._common_kind(lk, rk)
+        return (self._convert_int(lhs, Integer(common)),
+                self._convert_int(rhs, Integer(common)))
+
+    def _common_kind(self, lk: IKind, rk: IKind) -> IKind:
+        lr, rr = self.layout.rank(lk), self.layout.rank(rk)
+        if lr == rr:
+            # Same rank: unsigned wins.
+            return lk if not lk.is_signed else rk
+        hi, lo = (lk, rk) if lr > rr else (rk, lk)
+        if not hi.is_signed:
+            return hi
+        if self.layout.int_max(hi) >= self.layout.int_max(lo):
+            return hi
+        # Signed type cannot represent the unsigned one: unsigned version.
+        return _unsigned_of(hi)
+
+    def _convert_int(self, value: MVInteger, to: Integer) -> MVInteger:
+        ival = value.ival
+        wrapped = self.layout.wrap(to.kind, ival.value())
+        if to.kind.is_capability_carrying:
+            if ival.cap is not None:
+                # (u)intptr_t <-> (u)intptr_t: the capability is carried.
+                # A same-value conversion is a pure no-op (no SCVALUE is
+                # executed), so even sealed capabilities pass through.
+                if wrapped == ival.value():
+                    return MVInteger(to, IntegerValue.of_cap(
+                        ival.cap, to.is_signed, ival.prov))
+                moved = (ival.with_value_hardware(wrapped)
+                         if self.model.hardware
+                         else ival.with_value(wrapped))
+                return MVInteger(to, IntegerValue.of_cap(
+                    moved.cap, to.is_signed, moved.prov))
+            # Converted *from* a non-capability type: stays in the plain
+            # arm (NULL-derived), which is what drives the S3.7
+            # derivation rule.
+            return MVInteger(to, IntegerValue.of_int(wrapped))
+        # Keep byte provenance through plain conversions so char-wise
+        # pointer copies round-trip (S3.5; only 1-byte stores consult it).
+        return MVInteger(to, IntegerValue(num=wrapped, prov=ival.prov))
+
+    def convert(self, value: MemoryValue, to: CType, *,
+                explicit: bool = False) -> MemoryValue:
+        to_stripped = to.unqualified() if not isinstance(to, ArrayT) else to
+        if isinstance(value, MVUnspecified):
+            return MVUnspecified(to)
+        if isinstance(to_stripped, Void):
+            return MVInteger(INT, IntegerValue.of_int(0))
+        if isinstance(to_stripped, (ArrayT, StructT, UnionT)):
+            if value.ctype.unqualified() == to_stripped.unqualified() or \
+                    isinstance(value, (MVArray, MVStruct, MVUnion)):
+                return value
+            raise CTypeError(f"cannot convert {value.ctype} to {to}")
+        if isinstance(to_stripped, Pointer):
+            if isinstance(value, MVPointer):
+                # Pointer-to-pointer casts (including const casts) are
+                # no-ops on the capability (S3.9).
+                return MVPointer(to_stripped, value.ptr)
+            if isinstance(value, MVInteger):
+                ptr = self.model.int_to_ptr(value.ival, to_stripped.pointee)
+                return MVPointer(to_stripped, ptr)
+            raise CTypeError(f"cannot convert {value.ctype} to {to}")
+        if isinstance(to_stripped, Integer):
+            if to_stripped.kind is IKind.BOOL:
+                return MVInteger(BOOL, IntegerValue.of_int(
+                    1 if self.truthy(value) else 0))
+            if isinstance(value, MVPointer):
+                ival = self.model.ptr_to_int(value.ptr, to_stripped.kind)
+                return MVInteger(to_stripped, ival)
+            if isinstance(value, MVInteger):
+                return self._convert_int(value, to_stripped)
+        raise CTypeError(f"cannot convert {value.ctype} to {to}")
+
+    # ------------------------------------------------------------------
+    # Misc helpers
+    # ------------------------------------------------------------------
+
+    def truthy(self, value: MemoryValue) -> bool:
+        if isinstance(value, MVUnspecified):
+            if self.model.hardware:
+                return False
+            raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                     "branch on unspecified value")
+        if isinstance(value, MVInteger):
+            return value.ival.value() != 0
+        if isinstance(value, MVPointer):
+            return value.ptr.address != 0
+        raise CTypeError(f"non-scalar used in boolean context: "
+                         f"{value.ctype}")
+
+    def _finish_arith(self, kind: IKind, result: int, line: int) -> int:
+        if kind.is_signed and not self.layout.in_range(kind, result):
+            if not self.model.hardware:
+                raise UndefinedBehaviour(UB.SIGNED_OVERFLOW,
+                                         f"line {line}")
+        return self.layout.wrap(kind, result)
+
+    def _as_pointer(self, value: MemoryValue,
+                    line: int) -> tuple[CType, PointerValue]:
+        if isinstance(value, MVPointer):
+            return value.ctype, value.ptr
+        if isinstance(value, MVUnspecified):
+            raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                     f"use of unspecified pointer "
+                                     f"(line {line})")
+        raise CTypeError(f"expected a pointer, found {value.ctype} "
+                         f"(line {line})")
+
+    def _int_of(self, value: MemoryValue, line: int) -> int:
+        if isinstance(value, MVInteger):
+            return value.ival.value()
+        if isinstance(value, MVUnspecified):
+            raise UndefinedBehaviour(UB.READ_UNINITIALISED,
+                                     f"use of unspecified integer "
+                                     f"(line {line})")
+        raise CTypeError(f"expected an integer, found {value.ctype}")
+
+    def type_of(self, expr: Expr) -> CType:
+        """Static type of an expression, for ``sizeof``."""
+        if isinstance(expr, IntLit):
+            return expr.ctype or INT
+        if isinstance(expr, StrLit):
+            return ArrayT(elem=CHAR_CONST, length=len(expr.value) + 1)
+        if isinstance(expr, Ident):
+            binding = self._lookup(expr.name)
+            if binding is not None:
+                return binding.ctype
+            raise CTypeError(f"undeclared identifier {expr.name!r}")
+        if isinstance(expr, Unary) and expr.op == "*":
+            inner = self.type_of(expr.operand)
+            if isinstance(inner, Pointer):
+                return inner.pointee
+            if isinstance(inner, ArrayT):
+                return inner.elem
+            raise CTypeError("dereference of non-pointer in sizeof")
+        if isinstance(expr, Unary) and expr.op == "&":
+            return Pointer(self.type_of(expr.operand))
+        if isinstance(expr, Index):
+            base = self.type_of(expr.base)
+            if isinstance(base, ArrayT):
+                return base.elem
+            if isinstance(base, Pointer):
+                return base.pointee
+            raise CTypeError("index of non-pointer in sizeof")
+        if isinstance(expr, Member):
+            base = self.type_of(expr.base)
+            if expr.arrow and isinstance(base, Pointer):
+                base = base.pointee
+            if isinstance(base, StructT):
+                return base.field_type(expr.name)
+            raise CTypeError("member of non-struct in sizeof")
+        if isinstance(expr, Cast):
+            return expr.ctype
+        # Fall back to evaluating (sizeof of side-effect-free operands
+        # only; this is an oracle for small tests).
+        return self.eval(expr).ctype
+
+
+from repro.ctypes.types import Integer as _Integer  # noqa: E402
+
+CHAR_CONST = _Integer(IKind.CHAR, const=True)
+
+
+def _unsigned_of(kind: IKind) -> IKind:
+    return {
+        IKind.INT: IKind.UINT, IKind.LONG: IKind.ULONG,
+        IKind.LLONG: IKind.ULLONG, IKind.INTPTR: IKind.UINTPTR,
+        IKind.PTRDIFF: IKind.SIZE,
+    }.get(kind, kind)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C division truncates toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+def _c_shr(a: int, amount: int, kind: IKind) -> int:
+    """Arithmetic shift for signed, logical for unsigned (on the
+    already-interpreted mathematical value both are plain ``>>``)."""
+    return a >> amount
+
+
+def _array_of_const(ctype: CType) -> bool:
+    return isinstance(ctype, ArrayT) and ctype.elem.const
+
+
+def run_program(source: str, model: MemoryModel,
+                main: str = "main") -> Outcome:
+    """Parse and run a translation unit; never raises for program-level
+    outcomes (UB, traps, aborts are returned as :class:`Outcome`)."""
+    from repro.core.cparser import parse_program
+    try:
+        program = parse_program(source, model.layout)
+    except (CSyntaxError, CTypeError) as exc:
+        return Outcome.frontend_error(str(exc))
+    return Interpreter(program, model).run(main)

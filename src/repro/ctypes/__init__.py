@@ -1,0 +1,50 @@
+"""The CHERI C type system.
+
+C types are architecture-neutral descriptions; all sizing, alignment, and
+integer-range questions go through :class:`~repro.ctypes.layout.TargetLayout`,
+which is derived from a :class:`~repro.capability.abstract.Architecture`
+(S3.10: ``ptraddr_t`` has implementation-defined width; ``(u)intptr_t``
+is capability-sized).
+"""
+
+from repro.ctypes.types import (
+    ArrayT,
+    CType,
+    Field,
+    FuncT,
+    IKind,
+    Integer,
+    Pointer,
+    StructT,
+    UnionT,
+    Void,
+    BOOL,
+    CHAR,
+    SCHAR,
+    UCHAR,
+    SHORT,
+    USHORT,
+    INT,
+    UINT,
+    LONG,
+    ULONG,
+    LLONG,
+    ULLONG,
+    INTPTR,
+    UINTPTR,
+    PTRADDR,
+    SIZE_T,
+    PTRDIFF_T,
+    VOID,
+    strip_const,
+    compatible,
+)
+from repro.ctypes.layout import TargetLayout
+
+__all__ = [
+    "ArrayT", "CType", "Field", "FuncT", "IKind", "Integer", "Pointer",
+    "StructT", "UnionT", "Void", "TargetLayout",
+    "BOOL", "CHAR", "SCHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT",
+    "LONG", "ULONG", "LLONG", "ULLONG", "INTPTR", "UINTPTR", "PTRADDR",
+    "SIZE_T", "PTRDIFF_T", "VOID", "strip_const", "compatible",
+]

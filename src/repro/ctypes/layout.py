@@ -1,0 +1,190 @@
+"""Target layout: sizes, alignments, integer ranges, struct layout.
+
+Everything implementation-defined about types lives here, derived from an
+:class:`~repro.capability.abstract.Architecture`:
+
+* ``sizeof(intptr_t)`` is the capability size (16 on Morello, 8 on the
+  CHERIoT-style target) while its *value range* is the address range --
+  the capability metadata is storage, not value (S3.3).
+* ``ptraddr_t`` is an unsigned integer of address width (S3.10).
+* Pointers are capability-sized and capability-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.capability.abstract import Architecture
+from repro.ctypes.types import (
+    ArrayT,
+    CType,
+    FuncT,
+    IKind,
+    Integer,
+    Pointer,
+    RANK,
+    StructT,
+    UnionT,
+    Void,
+)
+from repro.errors import CTypeError
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    name: str
+    ctype: CType
+    offset: int
+
+
+class TargetLayout:
+    """Sizing and layout rules for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        bits64 = arch.address_width == 64
+        self._int_sizes: dict[IKind, int] = {
+            IKind.BOOL: 1,
+            IKind.CHAR: 1, IKind.SCHAR: 1, IKind.UCHAR: 1,
+            IKind.SHORT: 2, IKind.USHORT: 2,
+            IKind.INT: 4, IKind.UINT: 4,
+            IKind.LONG: 8 if bits64 else 4,
+            IKind.ULONG: 8 if bits64 else 4,
+            IKind.LLONG: 8, IKind.ULLONG: 8,
+            IKind.SIZE: 8 if bits64 else 4,
+            IKind.PTRDIFF: 8 if bits64 else 4,
+            IKind.PTRADDR: arch.ptraddr_size,
+            IKind.INTPTR: arch.capability_size,
+            IKind.UINTPTR: arch.capability_size,
+        }
+
+    # -- integer properties ------------------------------------------------
+
+    def int_size(self, kind: IKind) -> int:
+        """Storage size in bytes (capability-sized for ``(u)intptr_t``)."""
+        return self._int_sizes[kind]
+
+    def value_width(self, kind: IKind) -> int:
+        """Width in bits of the *value* range.
+
+        For capability-carrying types this is the address width: the
+        metadata half of the representation does not contribute to the
+        integer value (S3.3, S4.3 ``integer_value``).
+        """
+        if kind.is_capability_carrying:
+            return self.arch.address_width
+        return self._int_sizes[kind] * 8
+
+    def int_min(self, kind: IKind) -> int:
+        if not kind.is_signed:
+            return 0
+        return -(1 << (self.value_width(kind) - 1))
+
+    def int_max(self, kind: IKind) -> int:
+        width = self.value_width(kind)
+        if kind.is_signed:
+            return (1 << (width - 1)) - 1
+        return (1 << width) - 1
+
+    def in_range(self, kind: IKind, value: int) -> bool:
+        return self.int_min(kind) <= value <= self.int_max(kind)
+
+    def wrap(self, kind: IKind, value: int) -> int:
+        """Reduce ``value`` modulo the type's range (conversion to an
+        unsigned type, or the implementation-defined signed conversion)."""
+        width = self.value_width(kind)
+        value &= (1 << width) - 1
+        if kind.is_signed and value >> (width - 1):
+            value -= 1 << width
+        return value
+
+    @staticmethod
+    def rank(kind: IKind) -> int:
+        return RANK[kind]
+
+    # -- sizeof / alignof ----------------------------------------------------
+
+    def sizeof(self, ctype: CType) -> int:
+        if isinstance(ctype, Void):
+            raise CTypeError("sizeof(void) is invalid")
+        if isinstance(ctype, Integer):
+            return self.int_size(ctype.kind)
+        if isinstance(ctype, Pointer):
+            return self.arch.capability_size
+        if isinstance(ctype, ArrayT):
+            if ctype.length is None:
+                raise CTypeError("sizeof on incomplete array type")
+            return self.sizeof(ctype.elem) * ctype.length
+        if isinstance(ctype, (StructT, UnionT)):
+            return self.struct_size(ctype)
+        if isinstance(ctype, FuncT):
+            raise CTypeError("sizeof on a function type")
+        raise CTypeError(f"sizeof: unhandled type {ctype}")
+
+    def alignof(self, ctype: CType) -> int:
+        if isinstance(ctype, Integer):
+            size = self.int_size(ctype.kind)
+            if ctype.kind.is_capability_carrying:
+                return self.arch.capability_size
+            return size
+        if isinstance(ctype, Pointer):
+            return self.arch.capability_size
+        if isinstance(ctype, ArrayT):
+            return self.alignof(ctype.elem)
+        if isinstance(ctype, (StructT, UnionT)):
+            if ctype.fields is None:
+                raise CTypeError(f"alignof on incomplete {ctype}")
+            return max((self.alignof(f.ctype) for f in ctype.fields),
+                       default=1)
+        raise CTypeError(f"alignof: unhandled type {ctype}")
+
+    # -- struct / union layout ---------------------------------------------
+
+    def struct_fields(self, ctype: StructT) -> list[FieldLayout]:
+        """Member offsets using the standard C layout algorithm."""
+        if ctype.fields is None:
+            raise CTypeError(f"layout of incomplete {ctype}")
+        out: list[FieldLayout] = []
+        if isinstance(ctype, UnionT):
+            for f in ctype.fields:
+                out.append(FieldLayout(f.name, f.ctype, 0))
+            return out
+        offset = 0
+        for f in ctype.fields:
+            align = self.alignof(f.ctype)
+            offset = _align_up(offset, align)
+            out.append(FieldLayout(f.name, f.ctype, offset))
+            offset += self.sizeof(f.ctype)
+        return out
+
+    def struct_size(self, ctype: StructT) -> int:
+        if ctype.fields is None:
+            raise CTypeError(f"sizeof on incomplete {ctype}")
+        align = self.alignof(ctype)
+        if isinstance(ctype, UnionT):
+            raw = max((self.sizeof(f.ctype) for f in ctype.fields), default=0)
+        else:
+            fields = self.struct_fields(ctype)
+            raw = 0
+            if fields:
+                last = fields[-1]
+                raw = last.offset + self.sizeof(last.ctype)
+        return max(_align_up(raw, align), 1)
+
+    def offsetof(self, ctype: StructT, member: str) -> int:
+        for f in self.struct_fields(ctype):
+            if f.name == member:
+                return f.offset
+        raise CTypeError(f"{ctype} has no member {member!r}")
+
+    # -- capability-carrying predicate ---------------------------------------
+
+    def is_capability_type(self, ctype: CType) -> bool:
+        """Types represented at runtime by a full capability (S3.3)."""
+        if isinstance(ctype, Pointer):
+            return True
+        return (isinstance(ctype, Integer)
+                and ctype.kind.is_capability_carrying)
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

@@ -1,0 +1,244 @@
+"""Undefined behaviour catalogue, hardware traps, and semantic outcomes.
+
+The paper (S4.2) introduces four new CHERI undefined behaviours on top of
+the ISO C catalogue used by Cerberus, plus it reuses the ISO
+``UB012_lvalue_read_trap_representation`` for failed capability decodes.
+This module defines:
+
+* :class:`UB` -- the undefined-behaviour catalogue (ISO subset + CHERI).
+* :class:`UndefinedBehaviour` -- raised by the *abstract machine* when an
+  execution reaches UB.  Abstract-machine UB is a property of the whole
+  program, but the executable semantics (like Cerberus) reports the first
+  UB point it evaluates to, which is what a test oracle needs.
+* :class:`CheriTrap` -- raised in *hardware mode* (the simulated
+  Clang/GCC implementations) where an out-of-bounds or untagged access is
+  a synchronous data abort (SIGPROT on CheriBSD), not UB-anything-goes.
+* :class:`Outcome` -- the observable result of running one program on one
+  implementation, used by the validation suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class UB(enum.Enum):
+    """Undefined behaviours detectable by the executable semantics.
+
+    The CHERI-specific entries are exactly the four defined in S4.2 of the
+    paper; the ISO entries are the subset of the Cerberus catalogue that
+    the CHERI C test suite exercises.
+    """
+
+    # --- CHERI C additions (paper S4.2) ---------------------------------
+    CHERI_INVALID_CAP = "UB_CHERI_InvalidCap"
+    """Dereference of a pointer whose capability tag is cleared."""
+
+    CHERI_UNDEFINED_TAG = "UB_CHERI_UndefinedTag"
+    """Dereference of a pointer whose tag is *unspecified* in ghost state."""
+
+    CHERI_INSUFFICIENT_PERMISSIONS = "UB_CHERI_InsufficientPermissions"
+    """Memory access via a capability lacking the required permission."""
+
+    CHERI_BOUNDS_VIOLATION = "UB_CHERI_BoundsViolation"
+    """Memory access whose footprint is outside the capability bounds."""
+
+    # --- ISO C undefined behaviours used by the suite -------------------
+    READ_TRAP_REPRESENTATION = "UB012_lvalue_read_trap_representation"
+    """Decoding a stored capability representation failed (ISO UB012)."""
+
+    OUT_OF_BOUNDS_PTR_ARITH = "UB_out_of_bounds_pointer_arithmetic"
+    """Pointer arithmetic producing a value below or beyond one-past the
+    object (ISO 6.5.6p8; the paper keeps the strict ISO rule, S3.2)."""
+
+    ACCESS_OUT_OF_BOUNDS = "UB_access_outside_allocation"
+    """Access outside the footprint of the provenance allocation."""
+
+    ACCESS_DEAD_ALLOCATION = "UB_access_dead_allocation"
+    """Use of a pointer whose allocation's lifetime has ended."""
+
+    FREE_NON_MATCHING = "UB_free_of_non_allocated_pointer"
+    """``free``/``realloc`` of a pointer not obtained from the allocator."""
+
+    DOUBLE_FREE = "UB_double_free"
+
+    PTR_DIFF_DIFFERENT_PROVENANCE = "UB_ptrdiff_different_provenance"
+    """Subtraction of pointers into different allocations (ISO 6.5.6p9)."""
+
+    PTR_RELATIONAL_DIFFERENT_PROVENANCE = "UB_relational_different_provenance"
+    """``<``/``>`` etc. on pointers into different allocations."""
+
+    SIGNED_OVERFLOW = "UB_signed_integer_overflow"
+
+    DIVISION_BY_ZERO = "UB_division_by_zero"
+
+    SHIFT_OUT_OF_RANGE = "UB_shift_out_of_range"
+
+    READ_UNINITIALISED = "UB_read_uninitialised_memory"
+    """Reading an object with an unspecified (never written) value, where
+    the context makes that UB rather than merely unspecified."""
+
+    NULL_DEREFERENCE = "UB_null_pointer_dereference"
+
+    MISALIGNED_ACCESS = "UB_misaligned_access"
+    """Access via a pointer not suitably aligned for the access type
+    (capability loads/stores require capability alignment)."""
+
+    WRITE_TO_CONST = "UB_modification_of_const_object"
+
+    EMPTY_PROVENANCE_ACCESS = "UB_access_via_empty_provenance"
+    """Access via a pointer with empty provenance (e.g. from an integer
+    that matched no exposed allocation)."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_cheri(self) -> bool:
+        """True for the UBs introduced by CHERI C (paper S4.2)."""
+        return self.name.startswith("CHERI_")
+
+
+class TrapKind(enum.Enum):
+    """Hardware exception kinds raised in hardware (implementation) mode.
+
+    On Morello these are synchronous data aborts delivered to the process
+    as ``SIGPROT``; we classify them by cause like CheriBSD's ``si_code``.
+    """
+
+    TAG_VIOLATION = "tag violation"
+    BOUNDS_VIOLATION = "bounds violation"
+    PERMISSION_VIOLATION = "permission violation"
+    SEAL_VIOLATION = "seal violation"
+    SIGSEGV = "segmentation fault"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ReproError(Exception):
+    """Base class for all semantic-machinery errors in this library."""
+
+
+class UndefinedBehaviour(ReproError):
+    """The abstract machine reached an undefined behaviour.
+
+    Attributes:
+        ub: which catalogue entry was violated.
+        detail: human-readable context (what pointer, what bounds, ...).
+    """
+
+    def __init__(self, ub: UB, detail: str = "") -> None:
+        self.ub = ub
+        self.detail = detail
+        msg = str(ub) if not detail else f"{ub}: {detail}"
+        super().__init__(msg)
+
+
+class CheriTrap(ReproError):
+    """A hardware capability fault (simulated SIGPROT / data abort)."""
+
+    def __init__(self, kind: TrapKind, detail: str = "") -> None:
+        self.kind = kind
+        self.detail = detail
+        msg = str(kind) if not detail else f"{kind}: {detail}"
+        super().__init__(msg)
+
+
+class MemoryModelError(ReproError):
+    """Internal invariant violation inside the memory object model.
+
+    These indicate a bug in the *model* (or misuse of its API), never a
+    property of the program under test.
+    """
+
+
+class CSyntaxError(ReproError):
+    """Lexing/parsing error in the C-subset frontend."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+
+
+class CTypeError(ReproError):
+    """Static type error in the C-subset frontend."""
+
+
+class AssertionFailure(ReproError):
+    """A C-level ``assert`` failed during interpretation (abort)."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        super().__init__(f"assertion failed: {expression}")
+
+
+class OutcomeKind(enum.Enum):
+    """Classification of one program run on one implementation."""
+
+    EXIT = "exit"            # ran to completion; carries exit status
+    UNDEFINED = "undefined"  # abstract machine flagged UB; carries UB
+    TRAP = "trap"            # hardware capability fault; carries TrapKind
+    ABORT = "abort"          # assert failure / abort()
+    ERROR = "error"          # frontend rejected the program
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Observable result of running a test program on an implementation.
+
+    ``stdout`` collects everything the program printed (the suite's
+    programs print capability descriptions in the Appendix-A format), so
+    outcomes can be compared both by kind and by output shape.
+    """
+
+    kind: OutcomeKind
+    exit_status: int = 0
+    ub: UB | None = None
+    trap: TrapKind | None = None
+    detail: str = ""
+    stdout: str = ""
+
+    @classmethod
+    def exited(cls, status: int, stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.EXIT, exit_status=status, stdout=stdout)
+
+    @classmethod
+    def undefined(cls, ub: UB, detail: str = "", stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.UNDEFINED, ub=ub, detail=detail,
+                   stdout=stdout)
+
+    @classmethod
+    def trapped(cls, trap: TrapKind, detail: str = "",
+                stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.TRAP, trap=trap, detail=detail,
+                   stdout=stdout)
+
+    @classmethod
+    def aborted(cls, detail: str, stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.ABORT, detail=detail, stdout=stdout)
+
+    @classmethod
+    def frontend_error(cls, detail: str) -> "Outcome":
+        return cls(kind=OutcomeKind.ERROR, detail=detail)
+
+    @property
+    def ok(self) -> bool:
+        """True when the program ran to completion with status 0."""
+        return self.kind is OutcomeKind.EXIT and self.exit_status == 0
+
+    def describe(self) -> str:
+        """One-line human-readable description, stable for reports."""
+        if self.kind is OutcomeKind.EXIT:
+            return f"exit {self.exit_status}"
+        if self.kind is OutcomeKind.UNDEFINED:
+            return f"UB {self.ub}"
+        if self.kind is OutcomeKind.TRAP:
+            return f"trap: {self.trap}"
+        if self.kind is OutcomeKind.ABORT:
+            return f"abort: {self.detail}"
+        return f"error: {self.detail}"

@@ -1,0 +1,34 @@
+"""Simulated CHERI C implementations (S5).
+
+The paper compares the Cerberus executable semantics against Clang/LLVM
+(Morello and CHERI-RISC-V backends, several -O levels) and GCC (Morello
+bare-metal).  We cannot run those toolchains here, so each implementation
+is simulated from the three ingredients that actually produce the
+paper's observable divergences:
+
+1. **semantics mode** -- the reference implementation runs the abstract
+   machine (UB + ghost state); compiled implementations run hardware
+   semantics (traps, real tag clears, wrapping arithmetic, no temporal
+   checks);
+2. **the modelled optimiser** (:mod:`repro.core.optimizer`) at the
+   implementation's -O level;
+3. **allocator address ranges** -- the Appendix-A divergence between
+   Clang and GCC is entirely an address-range effect, reproduced by
+   per-implementation :class:`~repro.memory.allocator.AddressMap`\\ s.
+"""
+
+from repro.impls.config import Implementation
+from repro.impls.registry import (
+    ALL_IMPLEMENTATIONS,
+    APPENDIX_IMPLEMENTATIONS,
+    CERBERUS,
+    by_name,
+)
+
+__all__ = [
+    "ALL_IMPLEMENTATIONS",
+    "APPENDIX_IMPLEMENTATIONS",
+    "CERBERUS",
+    "Implementation",
+    "by_name",
+]

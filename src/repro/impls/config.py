@@ -1,0 +1,63 @@
+"""One simulated CHERI C implementation = arch + mode + optimiser + allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capability.abstract import Architecture
+from repro.core.cparser import parse_program
+from repro.core.interp import Interpreter
+from repro.core.optimizer import optimize_program
+from repro.ctypes.layout import TargetLayout
+from repro.errors import CSyntaxError, CTypeError, Outcome
+from repro.memory.allocator import AddressMap
+from repro.memory.model import MemoryModel, Mode
+from repro.memory.options import PAPER_CHOICES, SemanticsOptions
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """A runnable CHERI C implementation configuration.
+
+    Attributes:
+        name: e.g. ``clang-riscv-O3-bounds-conservative``.
+        arch: capability format (Morello-style or CHERIoT-style).
+        mode: abstract machine vs hardware execution.
+        address_map: where the allocator places stack/heap/globals --
+            observable through pointer-to-integer casts (Appendix A).
+        opt_level: the modelled -O level.
+        subobject_bounds: Clang's sub-object bounds mode (S3.8); the
+            default (False) is the paper's "conservative" setting.
+        description: one line for reports.
+    """
+
+    name: str
+    arch: Architecture
+    mode: Mode
+    address_map: AddressMap
+    opt_level: int = 0
+    subobject_bounds: bool = False
+    options: SemanticsOptions = field(default_factory=lambda: PAPER_CHOICES)
+    revocation: bool = False
+    description: str = ""
+
+    def fresh_model(self) -> MemoryModel:
+        return MemoryModel(self.arch, self.mode, self.address_map,
+                           subobject_bounds=self.subobject_bounds,
+                           options=self.options,
+                           revocation=self.revocation)
+
+    @property
+    def layout(self) -> TargetLayout:
+        return TargetLayout(self.arch)
+
+    def run(self, source: str, main: str = "main") -> Outcome:
+        """Compile (parse + modelled optimisation) and run one program."""
+        model = self.fresh_model()
+        try:
+            program = parse_program(source, model.layout)
+            program = optimize_program(program, model.layout,
+                                       self.opt_level)
+        except (CSyntaxError, CTypeError) as exc:
+            return Outcome.frontend_error(str(exc))
+        return Interpreter(program, model).run(main)

@@ -1,0 +1,193 @@
+"""The implementation registry used by the validation suite and benches.
+
+Address maps are chosen so the addresses that test programs print land in
+the same ranges as the paper's Appendix A traces:
+
+* Cerberus stacks just below 2^32 (``0xffffe6dc``-style) -- masking an
+  ``intptr_t`` with ``UINT_MAX`` is the identity; masking with
+  ``INT_MAX`` moves below the allocation (ghost non-representability);
+* Clang/CheriBSD RISC-V stacks near ``0x3fffdfffxx`` and Morello stacks
+  near ``0xfffffff7ffxx`` -- both masks relocate the address far out of
+  bounds (tag invalid);
+* GCC bare-metal stacks below 2^31 (``0x7fffffxx``) -- both masks are
+  the identity, "likely because of its memory allocator's address
+  ranges" (S5).
+"""
+
+from __future__ import annotations
+
+from repro.capability.cheriot import CHERIOT
+from repro.capability.morello import MORELLO
+from repro.impls.config import Implementation
+from repro.memory.allocator import AddressMap
+from repro.memory.model import Mode
+
+CERBERUS_MAP = AddressMap(
+    name="cerberus",
+    stack_base=0xffffe700,
+    heap_base=0x4000_0000,
+    globals_base=0x1_0000,
+    code_base=0x1000,
+)
+
+CLANG_MORELLO_MAP = AddressMap(
+    name="clang-morello",
+    stack_base=0xffff_fff7_ff80,
+    heap_base=0x4050_0000_0000,
+    globals_base=0x10_0000,
+    code_base=0x1_0000,
+)
+
+CLANG_RISCV_MAP = AddressMap(
+    name="clang-riscv",
+    stack_base=0x3f_ffdf_ff80,
+    heap_base=0x40_6000_0000,
+    globals_base=0x10_0000,
+    code_base=0x1_0000,
+)
+
+GCC_MORELLO_MAP = AddressMap(
+    name="gcc-morello",
+    stack_base=0x7fff_ffd0,
+    heap_base=0x1000_0000,
+    globals_base=0x2_0000,
+    code_base=0x8000,
+)
+
+CHERIOT_MAP = AddressMap(
+    name="cheriot",
+    stack_base=0x2000_ff00,
+    heap_base=0x2004_0000,
+    globals_base=0x2000_0000,
+    code_base=0x1000_0000,
+)
+
+CERBERUS = Implementation(
+    name="cerberus",
+    arch=MORELLO,
+    mode=Mode.ABSTRACT,
+    address_map=CERBERUS_MAP,
+    opt_level=0,
+    description="Reference executable semantics (abstract machine, "
+                "Morello capability format)",
+)
+
+CLANG_MORELLO_O0 = Implementation(
+    name="clang-morello-O0",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_MORELLO_MAP,
+    opt_level=0,
+    description="Clang/LLVM Morello at -O0 (hardware semantics)",
+)
+
+CLANG_MORELLO_O3 = Implementation(
+    name="clang-morello-O3",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_MORELLO_MAP,
+    opt_level=3,
+    description="Clang/LLVM Morello at -O3 (modelled optimisations)",
+)
+
+CLANG_RISCV_O0 = Implementation(
+    name="clang-riscv-O0",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_RISCV_MAP,
+    opt_level=0,
+    description="Clang/LLVM CHERI-RISC-V at -O0 (hardware semantics)",
+)
+
+CLANG_RISCV_O3 = Implementation(
+    name="clang-riscv-O3",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_RISCV_MAP,
+    opt_level=3,
+    description="Clang/LLVM CHERI-RISC-V at -O3 (modelled optimisations)",
+)
+
+CLANG_MORELLO_O3_SUBOBJECT = Implementation(
+    name="clang-morello-O3-subobject-safe",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_MORELLO_MAP,
+    opt_level=3,
+    subobject_bounds=True,
+    description="Clang Morello at -O3 with sub-object bounds (S3.8)",
+)
+
+GCC_MORELLO_O0 = Implementation(
+    name="gcc-morello-O0",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=GCC_MORELLO_MAP,
+    opt_level=0,
+    description="GCC Morello bare-metal at -O0 (low address ranges)",
+)
+
+GCC_MORELLO_O3 = Implementation(
+    name="gcc-morello-O3",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=GCC_MORELLO_MAP,
+    opt_level=3,
+    description="GCC Morello bare-metal at -O3 (modelled optimisations)",
+)
+
+CHERIOT_ABSTRACT = Implementation(
+    name="cerberus-cheriot",
+    arch=CHERIOT,
+    mode=Mode.ABSTRACT,
+    address_map=CHERIOT_MAP,
+    opt_level=0,
+    description="Abstract machine over the CHERIoT-style 64-bit "
+                "capability format (S3.10/S5.4)",
+)
+
+CHERIOT_HARDWARE = Implementation(
+    name="cheriot-O0",
+    arch=CHERIOT,
+    mode=Mode.HARDWARE,
+    address_map=CHERIOT_MAP,
+    opt_level=0,
+    revocation=True,
+    description="CHERIoT-style hardware: 64-bit capabilities plus "
+                "temporal revocation on free (S5.4: 'CHERIoT provides "
+                "additional temporal guarantees')",
+)
+
+#: The implementations the S5 comparison runs over.
+ALL_IMPLEMENTATIONS: tuple[Implementation, ...] = (
+    CERBERUS,
+    CLANG_MORELLO_O0,
+    CLANG_MORELLO_O3,
+    CLANG_RISCV_O0,
+    CLANG_RISCV_O3,
+    GCC_MORELLO_O0,
+    GCC_MORELLO_O3,
+)
+
+#: The implementations whose traces Appendix A prints.
+APPENDIX_IMPLEMENTATIONS: tuple[Implementation, ...] = (
+    CERBERUS,
+    CLANG_RISCV_O3,
+    CLANG_RISCV_O0,
+    CLANG_MORELLO_O3,
+    CLANG_MORELLO_O0,
+    GCC_MORELLO_O3,
+    GCC_MORELLO_O0,
+)
+
+_BY_NAME = {impl.name: impl for impl in
+            ALL_IMPLEMENTATIONS + (CLANG_MORELLO_O3_SUBOBJECT,
+                                   CHERIOT_ABSTRACT, CHERIOT_HARDWARE)}
+
+
+def by_name(name: str) -> Implementation:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown implementation {name!r}; known: "
+                       f"{sorted(_BY_NAME)}") from None

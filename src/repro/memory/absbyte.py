@@ -1,0 +1,40 @@
+"""Abstract memory bytes.
+
+S4.3: "Each byte consists of provenance (pi), an optional 8-bit numeric
+value, and an optional integer index."
+
+The optional value models uninitialised memory (reading it yields an
+unspecified value).  The index records, for bytes of a stored pointer
+representation, *which* byte of the capability this is; the abstraction
+function uses it to check that a pointer read back bytewise was copied
+coherently (a requirement inherited from the PNVI models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.provenance import Provenance
+
+
+@dataclass(frozen=True)
+class AbsByte:
+    prov: Provenance
+    value: int | None = None
+    index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.value is not None and not 0 <= self.value <= 0xFF:
+            raise ValueError(f"byte value out of range: {self.value}")
+
+    @classmethod
+    def unspec(cls) -> "AbsByte":
+        """An uninitialised byte."""
+        return _UNSPEC
+
+    @property
+    def is_unspecified(self) -> bool:
+        return self.value is None
+
+
+_UNSPEC = AbsByte(Provenance.empty())

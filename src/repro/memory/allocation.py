@@ -1,0 +1,70 @@
+"""Allocations: the ``A`` component of the memory state (S4.3).
+
+Each allocation records its footprint, kind, liveness, writability, and
+PNVI-ae exposure.  CHERI-specific: the *capability footprint* may be
+padded beyond the requested size so the allocation's capability bounds
+are exactly representable (S3.2: "allocators need to use additional
+padding and/or alignment to ensure that the required capability is
+representable and does not overlap other allocations").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ctypes.types import CType
+
+
+class AllocKind(enum.Enum):
+    STACK = "stack"      # automatic-storage objects
+    HEAP = "heap"        # malloc'd regions
+    GLOBAL = "global"    # static-storage objects
+    FUNCTION = "function"  # code: function designators
+    STRING = "string"    # string literals (read-only, static storage)
+
+
+@dataclass
+class Allocation:
+    """One allocation's entry in ``A``.
+
+    Attributes:
+        base/size: the *object* footprint (what provenance checks use).
+        cap_base/cap_size: the possibly padded capability footprint.
+        readonly: const-qualified object or string literal (S3.9).
+        alive: cleared by ``kill`` (scope exit / free); dead allocations
+            are retained so use-after-free is detectable as UB.
+        exposed: PNVI-ae exposure flag, set when the address is cast to
+            an integer or its representation is read.
+    """
+
+    ident: int
+    base: int
+    size: int
+    align: int
+    kind: AllocKind
+    ctype: CType | None = None
+    name: str = ""
+    readonly: bool = False
+    alive: bool = True
+    exposed: bool = False
+    cap_base: int = field(default=-1)
+    cap_size: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.cap_base < 0:
+            self.cap_base = self.base
+        if self.cap_size < 0:
+            self.cap_size = self.size
+
+    @property
+    def top(self) -> int:
+        return self.base + self.size
+
+    def footprint_contains(self, addr: int, size: int = 1) -> bool:
+        """Is ``[addr, addr+size)`` within the object footprint (1g)?"""
+        return self.base <= addr and addr + size <= self.top
+
+    def in_range_or_one_past(self, addr: int) -> bool:
+        """ISO pointer-arithmetic validity: within or one-past (S3.2)."""
+        return self.base <= addr <= self.top

@@ -1,0 +1,132 @@
+"""Address-space policy: where allocations land.
+
+The appendix of the paper shows that observable CHERI C behaviour can
+depend on *allocator address ranges*: GCC's bare-metal allocator places
+the stack below 2^31, so masking an ``intptr_t`` with ``INT_MAX`` is the
+identity there, while Clang/CheriBSD stacks sit high enough that the same
+mask moves the address far out of bounds ("In contrast, GCC does not
+exhibit this issue, likely because of its memory allocator's address
+ranges").  Each simulated implementation therefore gets its own
+:class:`AddressMap`.
+
+The allocator also implements the representability padding of S3.2:
+"allocators need to use additional padding and/or alignment to ensure
+that the required capability is representable and does not overlap other
+allocations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capability.concentrate import CompressionParams
+from repro.errors import MemoryModelError
+from repro.memory.allocation import AllocKind
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Base addresses for each storage region (see repro.impls for the
+    per-implementation instances)."""
+
+    name: str
+    stack_base: int      # stack allocations grow downward from here
+    heap_base: int       # heap allocations grow upward from here
+    globals_base: int    # static-storage objects grow upward from here
+    code_base: int       # function "allocations" grow upward from here
+
+    def region_base(self, kind: AllocKind) -> int:
+        if kind is AllocKind.STACK:
+            return self.stack_base
+        if kind is AllocKind.HEAP:
+            return self.heap_base
+        if kind is AllocKind.FUNCTION:
+            return self.code_base
+        return self.globals_base
+
+
+def representable_region(params: CompressionParams, size: int,
+                         align: int) -> tuple[int, int]:
+    """Alignment and padded size making bounds exactly representable.
+
+    Returns ``(align', size')`` such that any base aligned to ``align'``
+    with length ``size'`` encodes exactly under ``params`` and
+    ``size' >= size``, ``align' >= align``.  Iterates because padding the
+    length can bump the required exponent.
+    """
+    if size < 0:
+        raise MemoryModelError("negative allocation size")
+    mw, eb = params.mantissa_width, params.exponent_low_bits
+    cur_size = max(size, 1)
+    while True:
+        exponent = (cur_size >> (mw - 1)).bit_length()
+        internal = exponent != 0 or bool((cur_size >> (mw - 2)) & 1)
+        if not internal:
+            return max(align, 1), cur_size
+        granule = 1 << (exponent + eb)
+        new_size = _align_up(cur_size, granule)
+        new_align = max(align, granule)
+        if new_size == cur_size:
+            return new_align, new_size
+        cur_size = new_size
+
+
+class BumpAllocator:
+    """Simple region-per-kind bump allocator.
+
+    Stack allocations grow downward (matching the appendix traces where
+    successive frames have decreasing addresses); everything else grows
+    upward.  Dead regions are never reused except via :meth:`rewind`,
+    which the interpreter uses on scope exit so that stack reuse -- the
+    behaviour that makes use-after-scope observable on real hardware --
+    is faithfully modelled.
+    """
+
+    def __init__(self, address_map: AddressMap,
+                 params: CompressionParams) -> None:
+        self.address_map = address_map
+        self.params = params
+        self._cursors: dict[AllocKind, int] = {
+            kind: address_map.region_base(kind) for kind in AllocKind
+        }
+
+    @staticmethod
+    def _region(kind: AllocKind) -> AllocKind:
+        """String literals live in the globals region (rodata)."""
+        return AllocKind.GLOBAL if kind is AllocKind.STRING else kind
+
+    def cursor(self, kind: AllocKind) -> int:
+        return self._cursors[self._region(kind)]
+
+    def rewind(self, kind: AllocKind, cursor: int) -> None:
+        """Reset a region cursor (stack frame pop)."""
+        self._cursors[self._region(kind)] = cursor
+
+    def allocate(self, kind: AllocKind, size: int,
+                 align: int) -> tuple[int, int]:
+        """Reserve a region; returns ``(base, padded_size)``.
+
+        The padded size and alignment guarantee an exactly representable
+        capability (S3.2) and keep distinct allocations' capability
+        footprints disjoint.
+        """
+        region = self._region(kind)
+        align2, size2 = representable_region(self.params, size, align)
+        cursor = self._cursors[region]
+        if kind is AllocKind.STACK:
+            base = _align_down(cursor - size2, align2)
+            if base < 0:
+                raise MemoryModelError("stack region exhausted")
+            self._cursors[region] = base
+        else:
+            base = _align_up(cursor, align2)
+            self._cursors[region] = base + size2
+        return base, size2
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def _align_down(value: int, align: int) -> int:
+    return value & ~(align - 1)

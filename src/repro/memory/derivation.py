@@ -1,0 +1,90 @@
+"""Capability derivation for arithmetic on capability-carrying types.
+
+S3.7: "For binary arithmetic operations on two values of
+capability-carrying types, CHERI C has to define how the bounds and tag
+of the result are derived ... the resulting capabilities are derived
+from their left arguments" and "for binary operations, the capability
+derivation picks as a source for the resulting capability the argument
+which was not a result of implicit or explicit conversion from a
+non-capability type."
+
+S4.4: "We made this derivation step explicit by elaborating it in the
+intermediate Core language."  Here the elaboration is this function,
+which the interpreter calls for every arithmetic operation at a
+capability-carrying type.
+
+Representation choice that makes the rule compositional: an integer
+value that was *converted from* a non-capability type stays in the plain
+``Z`` arm of ``integer_value`` even when its C type is ``(u)intptr_t``
+(it is NULL-derived -- it carries no authority).  The derivation source
+is then simply "the left capability-carrying argument, else the right".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import UB, UndefinedBehaviour
+from repro.memory.options import IntptrPolicy
+from repro.memory.values import IntegerValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.model import MemoryModel
+
+
+def derive(lhs: IntegerValue, rhs: IntegerValue | None, result: int, *,
+           signed: bool, hardware: bool,
+           model: "MemoryModel | None" = None) -> IntegerValue:
+    """Build the result of an arithmetic op at a capability-carrying type.
+
+    ``result`` is the already-computed numeric value (after any wrapping
+    the type requires).  ``rhs`` is ``None`` for unary operations.
+
+    The derivation source is the left argument when it carries a
+    capability (S3.7: non-commutative!), otherwise the right; when
+    neither does, the result is a plain (NULL-derived) integer.
+
+    Abstract machine (default policy, S3.3 option (3)/(c)): the address
+    moves via the *ghost* path, so a non-representable result keeps its
+    numeric value and gains unspecified ghost state.  The rejected S3.3
+    options (1) and (2) are available through the model's
+    :class:`~repro.memory.options.SemanticsOptions` for the ablation
+    study.  Hardware: the tag is really cleared on non-representable
+    results.
+    """
+    source: IntegerValue | None = None
+    if lhs.is_capability:
+        source = lhs
+    elif rhs is not None and rhs.is_capability:
+        source = rhs
+    if source is None:
+        return IntegerValue.of_int(result)
+    if hardware:
+        moved = source.with_value_hardware(result)
+    else:
+        policy = (model.options.intptr if model is not None
+                  else IntptrPolicy.DEFINED_WITH_GHOST)
+        moved = _apply_abstract_policy(source, result, policy)
+    # Signedness of the result follows the result type, not the source.
+    return IntegerValue.of_cap(moved.cap, signed, moved.prov)
+
+
+def _apply_abstract_policy(source: IntegerValue, result: int,
+                           policy: IntptrPolicy) -> IntegerValue:
+    cap = source.cap
+    assert cap is not None
+    addr = result & cap.arch.address_mask
+    if policy is IntptrPolicy.UB_OUTSIDE_BOUNDS:
+        bounds = cap.decoded()
+        if not (bounds.base <= addr <= bounds.top):
+            raise UndefinedBehaviour(
+                UB.OUT_OF_BOUNDS_PTR_ARITH,
+                f"(u)intptr_t arithmetic to {addr:#x} outside "
+                f"[{bounds.base:#x},{bounds.top:#x}] (S3.3 option 1)")
+    elif policy is IntptrPolicy.UB_OUTSIDE_REPRESENTABLE:
+        if not cap.bounds_fields.is_representable(cap.address, addr):
+            raise UndefinedBehaviour(
+                UB.OUT_OF_BOUNDS_PTR_ARITH,
+                f"(u)intptr_t arithmetic to {addr:#x} outside the "
+                f"representable region (S3.3 option 2)")
+    return source.with_value(result)

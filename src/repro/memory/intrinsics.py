@@ -1,0 +1,238 @@
+"""CHERI C intrinsics (S4.5).
+
+"Many of the CHERI C intrinsics are polymorphic in the capability type
+they accept, and their return type may depend on it" -- each intrinsic
+here carries an :class:`IntrinsicSig` whose entries may be concrete C
+types or the marker :data:`SAME_AS_ARG0`, the embedded-DSL type
+derivation the paper adds to Cerberus.
+
+Ghost-state interaction (S3.5): on a capability whose tag is unspecified
+in ghost state, ``cheri_tag_get`` and ``cheri_is_equal_exact`` return an
+*unspecified* value (not UB); bounds queries on a capability with
+unspecified bounds likewise.  The address is always defined (S3.3).
+Permissions are represented exactly (S3.10), so permission queries stay
+defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capability.abstract import Capability
+from repro.capability.otype import OType
+from repro.capability.permissions import Permission, PermissionSet
+from repro.ctypes.types import BOOL, CType, LONG, PTRADDR, SIZE_T
+from repro.memory.model import MemoryModel
+
+
+class _Unspecified:
+    """Sentinel: the intrinsic's result is an unspecified value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<unspecified>"
+
+
+UNSPECIFIED = _Unspecified()
+
+#: Type-derivation marker: result/parameter has the (capability-carrying)
+#: type of the call's first argument.
+SAME_AS_ARG0 = "same-as-arg0"
+
+
+@dataclass(frozen=True)
+class IntrinsicSig:
+    """Signature with possibly-derived types (the S4.5 DSL)."""
+
+    params: tuple[object, ...]   # CType | SAME_AS_ARG0 ("any capability")
+    ret: object                  # CType | SAME_AS_ARG0
+
+
+class Intrinsics:
+    """Implementation of the intrinsics against one memory model."""
+
+    def __init__(self, model: MemoryModel) -> None:
+        self.model = model
+        self.arch = model.arch
+
+    # -- field getters ------------------------------------------------------
+
+    def address_get(self, cap: Capability) -> int:
+        """``cheri_address_get``: always defined, even under ghost state
+        (the address part of a (u)intptr_t value is always defined, S3.3)."""
+        return cap.address
+
+    def base_get(self, cap: Capability) -> int | _Unspecified:
+        if cap.ghost.bounds_unspecified:
+            return UNSPECIFIED
+        return cap.base
+
+    def length_get(self, cap: Capability) -> int | _Unspecified:
+        if cap.ghost.bounds_unspecified:
+            return UNSPECIFIED
+        return cap.length
+
+    def top_get(self, cap: Capability) -> int | _Unspecified:
+        if cap.ghost.bounds_unspecified:
+            return UNSPECIFIED
+        return cap.top
+
+    def offset_get(self, cap: Capability) -> int | _Unspecified:
+        if cap.ghost.bounds_unspecified:
+            return UNSPECIFIED
+        return cap.address - cap.base
+
+    def tag_get(self, cap: Capability) -> bool | _Unspecified:
+        """Unspecified once the representation was manipulated (S3.5)."""
+        if cap.ghost.tag_unspecified:
+            return UNSPECIFIED
+        return cap.tag
+
+    def perms_get(self, cap: Capability) -> int:
+        """The permission bits, packed per the architecture's layout.
+
+        Defined even under ghost state: the effect of representation
+        manipulation on fields other than the tag is implementation
+        defined, not unspecified (S3.5 summary)."""
+        word = 0
+        for i, perm in enumerate(self.arch.perm_order):
+            if perm in cap.perms:
+                word |= 1 << i
+        return word
+
+    def type_get(self, cap: Capability) -> int:
+        return cap.otype.value
+
+    def is_sealed(self, cap: Capability) -> bool:
+        return cap.is_sealed
+
+    def is_sentry(self, cap: Capability) -> bool:
+        return cap.otype.is_sentry
+
+    def is_valid(self, cap: Capability) -> bool | _Unspecified:
+        return self.tag_get(cap)
+
+    # -- field setters (monotonic) ---------------------------------------
+
+    def address_set(self, cap: Capability, addr: int) -> Capability:
+        if self.model.hardware:
+            return cap.with_address(addr & self.arch.address_mask)
+        return cap.with_address_ghost(addr & self.arch.address_mask)
+
+    def offset_set(self, cap: Capability, offset: int) -> Capability:
+        if cap.ghost.bounds_unspecified:
+            # base is unspecified; the result address would be too -- keep
+            # ghost and move relative to the current (defined) address.
+            return self.address_set(cap, cap.address + offset)
+        return self.address_set(cap, cap.base + offset)
+
+    def tag_clear(self, cap: Capability) -> Capability:
+        return cap.with_tag(False)
+
+    def perms_and(self, cap: Capability, mask: int) -> Capability:
+        kept = PermissionSet.from_iterable(
+            perm for i, perm in enumerate(self.arch.perm_order)
+            if (mask >> i) & 1)
+        return cap.with_perms_masked(kept)
+
+    def bounds_set(self, cap: Capability, length: int) -> Capability:
+        new, _exact = cap.set_bounds(cap.address, length)
+        return new
+
+    def bounds_set_exact(self, cap: Capability, length: int) -> Capability:
+        """Like ``bounds_set`` but the tag is cleared when the requested
+        bounds are not exactly representable."""
+        new, exact = cap.set_bounds(cap.address, length)
+        return new if exact else new.with_tag(False)
+
+    # -- sealing --------------------------------------------------------
+
+    def seal(self, cap: Capability, authority: Capability) -> Capability:
+        ok = (authority.tag and not authority.is_sealed
+              and authority.has_perm(Permission.SEAL)
+              and authority.in_bounds(authority.address, 1))
+        sealed = cap.sealed_with(OType(authority.address
+                                       & ((1 << self.arch.otype_width) - 1)))
+        return sealed if ok else sealed.with_tag(False)
+
+    def unseal(self, cap: Capability, authority: Capability) -> Capability:
+        ok = (authority.tag and not authority.is_sealed
+              and authority.has_perm(Permission.UNSEAL)
+              and cap.is_sealed
+              and authority.address == cap.otype.value)
+        out = cap.unsealed()
+        return out if ok else out.with_tag(False)
+
+    def sentry_create(self, cap: Capability) -> Capability:
+        return cap.sealed_with(OType.sentry())
+
+    # -- comparisons ----------------------------------------------------
+
+    def is_equal_exact(self, a: Capability,
+                       b: Capability) -> bool | _Unspecified:
+        """``cheri_is_equal_exact``: all fields including tag (S3.6).
+
+        "If some of their fields, such as tag or bounds, are marked as
+        unspecified in ghost state, its return value is unspecified as
+        well."
+        """
+        if not (a.ghost.is_clean and b.ghost.is_clean):
+            return UNSPECIFIED
+        return a.equal_exact(b)
+
+    def is_subset(self, a: Capability, b: Capability) -> bool | _Unspecified:
+        """Is ``a``'s authority a subset of ``b``'s?"""
+        if not (a.ghost.is_clean and b.ghost.is_clean):
+            return UNSPECIFIED
+        return (a.base >= b.base and a.top <= b.top
+                and a.perms.is_subset_of(b.perms))
+
+    # -- representability queries (no capability argument) -----------------
+
+    def representable_length(self, length: int) -> int:
+        """``cheri_representable_length``: round a length up to the next
+        value representable at a suitably aligned base."""
+        from repro.memory.allocator import representable_region
+        _align, size = representable_region(self.arch.compression,
+                                            length, 1)
+        return size
+
+    def representable_alignment_mask(self, length: int) -> int:
+        """``cheri_representable_alignment_mask``: address mask giving
+        the alignment a base needs for this length to be exact."""
+        from repro.memory.allocator import representable_region
+        align, _size = representable_region(self.arch.compression,
+                                            length, 1)
+        return self.arch.address_mask & ~(align - 1)
+
+
+#: Signatures for the C-level intrinsic functions (S4.5 DSL).  ``CAP``
+#: parameters accept any capability-carrying type (pointer or
+#: ``(u)intptr_t``); the marker return means "same type as argument 0".
+SIGNATURES: dict[str, IntrinsicSig] = {
+    "cheri_address_get": IntrinsicSig((SAME_AS_ARG0,), PTRADDR),
+    "cheri_base_get": IntrinsicSig((SAME_AS_ARG0,), PTRADDR),
+    "cheri_length_get": IntrinsicSig((SAME_AS_ARG0,), SIZE_T),
+    "cheri_offset_get": IntrinsicSig((SAME_AS_ARG0,), SIZE_T),
+    "cheri_tag_get": IntrinsicSig((SAME_AS_ARG0,), BOOL),
+    "cheri_perms_get": IntrinsicSig((SAME_AS_ARG0,), SIZE_T),
+    "cheri_type_get": IntrinsicSig((SAME_AS_ARG0,), LONG),
+    "cheri_is_sealed": IntrinsicSig((SAME_AS_ARG0,), BOOL),
+    "cheri_is_sentry": IntrinsicSig((SAME_AS_ARG0,), BOOL),
+    "cheri_is_valid": IntrinsicSig((SAME_AS_ARG0,), BOOL),
+    "cheri_address_set": IntrinsicSig((SAME_AS_ARG0, PTRADDR), SAME_AS_ARG0),
+    "cheri_offset_set": IntrinsicSig((SAME_AS_ARG0, SIZE_T), SAME_AS_ARG0),
+    "cheri_tag_clear": IntrinsicSig((SAME_AS_ARG0,), SAME_AS_ARG0),
+    "cheri_perms_and": IntrinsicSig((SAME_AS_ARG0, SIZE_T), SAME_AS_ARG0),
+    "cheri_bounds_set": IntrinsicSig((SAME_AS_ARG0, SIZE_T), SAME_AS_ARG0),
+    "cheri_bounds_set_exact": IntrinsicSig((SAME_AS_ARG0, SIZE_T),
+                                           SAME_AS_ARG0),
+    "cheri_is_equal_exact": IntrinsicSig((SAME_AS_ARG0, SAME_AS_ARG0), BOOL),
+    "cheri_is_subset": IntrinsicSig((SAME_AS_ARG0, SAME_AS_ARG0), BOOL),
+    "cheri_representable_length": IntrinsicSig((SIZE_T,), SIZE_T),
+    "cheri_representable_alignment_mask": IntrinsicSig((SIZE_T,), SIZE_T),
+    "cheri_seal": IntrinsicSig((SAME_AS_ARG0, SAME_AS_ARG0), SAME_AS_ARG0),
+    "cheri_unseal": IntrinsicSig((SAME_AS_ARG0, SAME_AS_ARG0),
+                                 SAME_AS_ARG0),
+    "cheri_sentry_create": IntrinsicSig((SAME_AS_ARG0,), SAME_AS_ARG0),
+    "cheri_top_get": IntrinsicSig((SAME_AS_ARG0,), PTRADDR),
+}

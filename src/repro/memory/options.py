@@ -1,0 +1,71 @@
+"""Switchable semantic design options (the alternatives of S3).
+
+The paper's S3 is a design-space discussion: for several questions it
+enumerates options, weighs them against porting effort, optimisation
+freedom, and portability, and picks one.  The memory model implements
+*all* the enumerated options behind this configuration object, with the
+paper's choices as defaults, so the trade-offs can be measured (see
+``benchmarks/bench_ablation.py``) rather than just asserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OOBArithPolicy(enum.Enum):
+    """S3.2: what may pointer arithmetic construct?
+
+    The paper adopts ISO_UB: "These lead us to keep the stricter ISO
+    rule also for CHERI C, option (a)".
+    """
+
+    ISO_UB = "a: UB beyond one-past (ISO 6.5.6p8)"
+    PORTABLE_ENVELOPE = ("b: defined within the conservative "
+                         "cross-architecture envelope of [45 S4.3.5]")
+    ARCH_REPRESENTABLE = ("c: defined within the architecture's "
+                          "representable region")
+
+
+class IntptrPolicy(enum.Enum):
+    """S3.3: what may (u)intptr_t arithmetic do?
+
+    The paper adopts DEFINED_WITH_GHOST: "We choose (3)" with the
+    ghost-state refinement (c).
+    """
+
+    UB_OUTSIDE_BOUNDS = ("1: like pointers -- UB beyond one-past the "
+                         "allocation")
+    UB_OUTSIDE_REPRESENTABLE = ("2: UB outside the representable region")
+    DEFINED_WITH_GHOST = ("3: always defined; non-representable "
+                          "excursions recorded in ghost state")
+
+
+class EqualityPolicy(enum.Enum):
+    """S3.6: what does pointer == compare?
+
+    The paper adopts ADDRESS_ONLY: "pragmatically it seems that porting
+    code is most straightforward with the third option".
+    """
+
+    EXACT_WITH_TAGS = "1: bitwise representation equality including tags"
+    EXACT_WITHOUT_TAGS = "2: representation equality ignoring tags"
+    ADDRESS_ONLY = "3: equality of the address fields only"
+
+
+@dataclass(frozen=True)
+class SemanticsOptions:
+    """One point in the S3 design space (defaults = the paper's CHERI C)."""
+
+    oob_arith: OOBArithPolicy = OOBArithPolicy.ISO_UB
+    intptr: IntptrPolicy = IntptrPolicy.DEFINED_WITH_GHOST
+    equality: EqualityPolicy = EqualityPolicy.ADDRESS_ONLY
+
+    def describe(self) -> str:
+        return (f"oob={self.oob_arith.name.lower()} "
+                f"intptr={self.intptr.name.lower()} "
+                f"eq={self.equality.name.lower()}")
+
+
+PAPER_CHOICES = SemanticsOptions()

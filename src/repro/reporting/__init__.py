@@ -1,0 +1,5 @@
+"""Reporting helpers: Appendix-A capability printing and result tables."""
+
+from repro.reporting.capprint import format_capability
+
+__all__ = ["format_capability"]

@@ -1,0 +1,57 @@
+"""Capability pretty-printing in the paper's Appendix-A format.
+
+The appendix's ``capprint.h`` helper prints capabilities like::
+
+    cerberus:  (@86, 0xffffe6dc [rwRW,0xffffe6dc-0xffffe6e4])
+               (@empty, 0x7fffe6dc [?-?] (notag))
+    hardware:  0x3fffdfff08 [rwRW,0x3fffdfff08-0x3fffdfff10]
+               0xffdfff08 [rwRW,0xffdfff08-0xffdfff10] (invalid)
+
+Abstract-machine output leads with the provenance and marks unspecified
+ghost state with ``?`` fields and ``(notag)``; hardware output has no
+provenance (it does not exist at runtime) and marks cleared tags with
+``(invalid)``.
+"""
+
+from __future__ import annotations
+
+from repro.capability.abstract import Capability
+from repro.memory.provenance import Provenance
+
+
+def format_capability(cap: Capability, prov: Provenance | None = None, *,
+                      hardware: bool = False) -> str:
+    """Render one capability; ``prov`` enables the Cerberus style."""
+    if hardware:
+        body = _hw_body(cap)
+        return body
+    return f"({(prov or Provenance.empty()).describe()}, {_abs_body(cap)})"
+
+
+def _perm_string(cap: Capability) -> str:
+    return cap.perms.describe()
+
+
+def _hw_body(cap: Capability) -> str:
+    bounds = cap.decoded()
+    text = (f"{cap.address:#x} [{_perm_string(cap)},"
+            f"{bounds.base:#x}-{bounds.top:#x}]")
+    if not cap.tag:
+        text += " (invalid)"
+    if cap.is_sealed:
+        text += " (sealed)"
+    return text
+
+def _abs_body(cap: Capability) -> str:
+    if cap.ghost.bounds_unspecified:
+        bounds_text = "[?-?]"
+    else:
+        bounds = cap.decoded()
+        bounds_text = (f"[{_perm_string(cap)},"
+                       f"{bounds.base:#x}-{bounds.top:#x}]")
+    text = f"{cap.address:#x} {bounds_text}"
+    if cap.ghost.tag_unspecified or not cap.tag:
+        text += " (notag)"
+    if cap.is_sealed:
+        text += " (sealed)"
+    return text

@@ -1,0 +1,58 @@
+"""Rendered report tables: Table 1 and the S5 compliance comparison.
+
+Shared by the benchmark harness (``benchmarks/``) and the command line
+(``cheri-run --report ...``).
+"""
+
+from __future__ import annotations
+
+from repro.testsuite.categories import CATEGORIES, Category, TOTAL_TESTS
+
+
+def render_table1() -> str:
+    """The paper's Table 1, regenerated from the assembled suite."""
+    from repro.testsuite.suite import all_cases, table1_counts
+    counts = table1_counts()
+    lines = ["Tests  Description",
+             "-----  -----------"]
+    for category in Category:
+        want, desc = CATEGORIES[category]
+        have = counts[category]
+        marker = "" if want == have else f"   !! paper says {want}"
+        lines.append(f"{have:5d}  {desc}{marker}")
+    lines.append("-----")
+    lines.append(f"{len(all_cases())} distinct tests "
+                 f"(paper: {TOTAL_TESTS}); "
+                 f"{sum(counts.values())} category memberships")
+    return "\n".join(lines)
+
+
+def render_compliance(reports) -> str:
+    """The S5-style compliance summary over a list of SuiteReports."""
+    lines = ["Implementation                    pass  fail  no-claim",
+             "--------------------------------  ----  ----  --------"]
+    for rep in reports:
+        lines.append(f"{rep.impl.name:32s}  {rep.passed:4d}  "
+                     f"{rep.failed:4d}  {rep.unclaimed:8d}")
+    lines.append("")
+    lines.append("Divergences from the reference outcome (all licensed "
+                 "by UB / optimisation):")
+    reference = {r.case.name: r.outcome for r in reports[0].results}
+    for rep in reports[1:]:
+        diffs = [res.case.name for res in rep.results
+                 if res.outcome.kind != reference[res.case.name].kind]
+        lines.append(f"  {rep.impl.name:30s} {len(diffs):3d} tests with a "
+                     f"different outcome kind")
+    return "\n".join(lines) + "\n"
+
+
+def render_failures(reports) -> str:
+    """Detail lines for any expectation failures (normally empty)."""
+    lines = []
+    for rep in reports:
+        for res in rep.failures():
+            lines.append(
+                f"{rep.impl.name}: {res.case.name}: expected "
+                f"{res.expected.describe()}, got {res.outcome.describe()}"
+                f" [{res.outcome.detail}]")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Test-case representation for the validation suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Outcome, OutcomeKind, TrapKind, UB
+from repro.testsuite.categories import Category
+
+
+@dataclass(frozen=True)
+class Expected:
+    """A checkable expectation about an :class:`~repro.errors.Outcome`."""
+
+    kind: OutcomeKind
+    exit_status: int | None = None
+    ub: UB | None = None
+    trap: TrapKind | None = None
+    stdout_contains: tuple[str, ...] = ()
+
+    def check(self, outcome: Outcome) -> bool:
+        if outcome.kind is not self.kind:
+            return False
+        if self.exit_status is not None and \
+                outcome.exit_status != self.exit_status:
+            return False
+        if self.ub is not None and outcome.ub is not self.ub:
+            return False
+        if self.trap is not None and outcome.trap is not self.trap:
+            return False
+        return all(text in outcome.stdout for text in self.stdout_contains)
+
+    def describe(self) -> str:
+        if self.kind is OutcomeKind.EXIT:
+            status = "?" if self.exit_status is None else self.exit_status
+            return f"exit {status}"
+        if self.kind is OutcomeKind.UNDEFINED:
+            return f"UB {self.ub or 'any'}"
+        if self.kind is OutcomeKind.TRAP:
+            return f"trap {self.trap or 'any'}"
+        return self.kind.value
+
+
+def exits(status: int = 0, *contains: str) -> Expected:
+    return Expected(OutcomeKind.EXIT, exit_status=status,
+                    stdout_contains=tuple(contains))
+
+
+def undefined(ub: UB | None = None, *contains: str) -> Expected:
+    return Expected(OutcomeKind.UNDEFINED, ub=ub,
+                    stdout_contains=tuple(contains))
+
+
+def traps(trap: TrapKind | None = None) -> Expected:
+    return Expected(OutcomeKind.TRAP, trap=trap)
+
+
+def aborts() -> Expected:
+    return Expected(OutcomeKind.ABORT)
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One validation-suite program.
+
+    ``expect`` is the required outcome on the reference implementation
+    (the executable semantics).  ``hardware`` is the required outcome on
+    unoptimised hardware implementations when it differs (the
+    optimisation-sensitive divergences get per-implementation
+    ``overrides``).
+    """
+
+    name: str
+    categories: tuple[Category, ...]
+    source: str
+    expect: Expected
+    hardware: Expected | None = None
+    overrides: dict[str, Expected] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError(f"test {self.name} has no categories")
+
+    def expected_for(self, impl_name: str, *,
+                     is_hardware: bool, opt_level: int) -> Expected | None:
+        """The expectation applicable to one implementation, or ``None``
+        when the case makes no claim about it.
+
+        Policy: the reference expectation always applies to the abstract
+        machine.  On hardware, an explicit ``hardware`` expectation
+        applies at -O0; a plain-exit reference expectation (a program
+        with no UB) applies to every hardware implementation; everything
+        else makes no claim unless an ``overrides`` entry names the
+        implementation -- UB programs have *no* required hardware
+        behaviour, which is the whole point of S3.
+        """
+        if impl_name in self.overrides:
+            return self.overrides[impl_name]
+        if not is_hardware:
+            return self.expect
+        if self.hardware is not None:
+            return self.hardware if opt_level == 0 else None
+        from repro.errors import OutcomeKind as OK
+        if self.expect.kind in (OK.EXIT, OK.ABORT):
+            # Output format differs between the abstract machine and
+            # hardware (provenance is not printed at runtime), so only
+            # the outcome kind/status carries over.
+            return Expected(self.expect.kind,
+                            exit_status=self.expect.exit_status)
+        return None

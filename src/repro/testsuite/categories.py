@@ -1,0 +1,117 @@
+"""The 34 semantic categories of Table 1, with the paper's test counts."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Category(enum.Enum):
+    """One row of Table 1."""
+
+    ALIGNMENT = "alignment"
+    ALLOCATOR = "allocator"
+    ARRAY_ADDRESSES = "array-addresses"
+    POINTER_OFFSETTING = "pointer-offsetting"
+    CONSTANT_ASSIGNMENT = "constant-assignment"
+    CALLING_CONVENTION = "calling-convention"
+    CASTS = "casts"
+    CONST = "const"
+    EQUALITY = "equality"
+    FUNCTION_POINTERS = "function-pointers"
+    GLOBAL_VS_LOCAL = "global-vs-local"
+    INITIALIZATION = "initialization"
+    INTPTR_PROPERTIES = "intptr-properties"
+    INTPTR_ARITHMETIC = "intptr-arithmetic"
+    INTPTR_BITWISE = "intptr-bitwise"
+    INTRINSICS = "intrinsics"
+    UNFORGEABILITY = "unforgeability"
+    MORELLO_ENCODING = "morello-encoding"
+    NULL = "null"
+    ONE_PAST = "one-past"
+    OOB_ACCESS = "oob-access"
+    OPTIMIZATION_EFFECTS = "optimization-effects"
+    PERMISSIONS = "permissions"
+    PROVENANCE = "provenance"
+    PTRADDR = "ptraddr"
+    POINTER_ARITHMETIC = "pointer-arithmetic"
+    PTR_INT_CONVERSION = "ptr-int-conversion"
+    RELATIONAL = "relational"
+    REPRESENTABILITY = "representability"
+    REPRESENTATION_ACCESS = "representation-access"
+    TEMPORAL = "temporal"
+    SIGNEDNESS = "signedness"
+    STDLIB = "stdlib"
+    SUBOBJECT = "subobject"
+
+
+#: Table 1: category -> (paper's test count, paper's description).
+CATEGORIES: dict[Category, tuple[int, str]] = {
+    Category.ALIGNMENT: (10, "Checking capability alignment in the memory."),
+    Category.ALLOCATOR: (10, "Memory allocator interface (locals, globals, "
+                             "and heap)."),
+    Category.ARRAY_ADDRESSES: (2, "Capabilities produced by taking addresses "
+                                  "of arrays and their elements."),
+    Category.POINTER_OFFSETTING: (3, "Operations offseting pointers as in "
+                                     "taking an address of array element at "
+                                     "an index."),
+    Category.CONSTANT_ASSIGNMENT: (2, "Assigning constants and values of "
+                                      "capability-carrying types to "
+                                      "capability-typed variables."),
+    Category.CALLING_CONVENTION: (1, "Issues related to calling convention: "
+                                     "passing arguments, variable argument "
+                                     "functions, etc."),
+    Category.CASTS: (5, "Implicit/explicit casts between capability-carrying "
+                        "types."),
+    Category.CONST: (5, "C const modifier and its effects on capabilities."),
+    Category.EQUALITY: (10, "Equality between capability-carrying types."),
+    Category.FUNCTION_POINTERS: (11, "Pointers to functions."),
+    Category.GLOBAL_VS_LOCAL: (6, "Pointers to global vs. local variables."),
+    Category.INITIALIZATION: (4, "Initialization of variables carrying "
+                                 "capabilities."),
+    Category.INTPTR_PROPERTIES: (19, "Properties and definition of "
+                                     "(u)intptr_t types."),
+    Category.INTPTR_ARITHMETIC: (9, "Arithmetic operations on (u)intptr_t "
+                                    "values."),
+    Category.INTPTR_BITWISE: (3, "Bitwise operations on (u)intptr_t values."),
+    Category.INTRINSICS: (16, "Semantics of CHERI C intrinsic functions "
+                              "(e.g, permission manipulation)."),
+    Category.UNFORGEABILITY: (15, "Unforgeability enforcement for "
+                                  "capabilities."),
+    Category.MORELLO_ENCODING: (6, "Capabilities encoding for Arm Morello "
+                                   "architecture."),
+    Category.NULL: (6, "null pointers and NULL constant as capabilities."),
+    Category.ONE_PAST: (1, "ISO-legal pointers one-past an object's "
+                           "footprint and their bounds."),
+    Category.OOB_ACCESS: (5, "Out-of-bounds memory-access handling."),
+    Category.OPTIMIZATION_EFFECTS: (10, "Effects of compiler optimisations."),
+    Category.PERMISSIONS: (5, "Capability permissions: setting and "
+                              "enforcement."),
+    Category.PROVENANCE: (7, "pointer provenance tracking per [18]."),
+    Category.PTRADDR: (2, "New ptraddr_t type definition and usage."),
+    Category.POINTER_ARITHMETIC: (2, "Implementation of pointer arithmetic "
+                                     "on capabilities."),
+    Category.PTR_INT_CONVERSION: (9, "Conversion between pointer and integer "
+                                     "types."),
+    Category.RELATIONAL: (4, "Relational comparison operators (e.g. <,>,<= "
+                             "and >=) for capabilities."),
+    Category.REPRESENTABILITY: (6, "Issues related to potential "
+                                   "non-representability of some "
+                                   "combinations of capability fields."),
+    Category.REPRESENTATION_ACCESS: (9, "Tests related to accessing "
+                                        "capabilities in-memory "
+                                        "representation."),
+    Category.TEMPORAL: (5, "Accessing memory via capabilities after the "
+                           "region has been deallocated."),
+    Category.SIGNEDNESS: (5, "Handling of (un)signed integer types in "
+                             "casts, accessing capability fields, and "
+                             "intrinsics."),
+    Category.STDLIB: (6, "Standard C library functions handling of "
+                         "capabilities."),
+    Category.SUBOBJECT: (3, "Sub-objects bound enforcement via "
+                            "capabilities."),
+}
+
+#: The paper's total number of distinct tests.
+TOTAL_TESTS = 94
+
+assert sum(count for count, _ in CATEGORIES.values()) == 222

@@ -1,0 +1,74 @@
+"""Cross-implementation comparison (the S5 experiment).
+
+``run_suite`` checks every test against one implementation;
+``compare_implementations`` reproduces the S5.1-S5.3 compliance report:
+each implementation's pass/fail/no-claim counts plus the list of
+divergences with their causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Outcome
+from repro.impls.config import Implementation
+from repro.memory.model import Mode
+from repro.testsuite.case import Expected, TestCase
+from repro.testsuite.suite import all_cases
+
+
+@dataclass
+class CaseResult:
+    case: TestCase
+    outcome: Outcome
+    expected: Expected | None      # None: the suite makes no claim here
+
+    @property
+    def passed(self) -> bool | None:
+        if self.expected is None:
+            return None
+        return self.expected.check(self.outcome)
+
+
+@dataclass
+class SuiteReport:
+    impl: Implementation
+    results: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed is True)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.results if r.passed is False)
+
+    @property
+    def unclaimed(self) -> int:
+        return sum(1 for r in self.results if r.passed is None)
+
+    def failures(self) -> list[CaseResult]:
+        return [r for r in self.results if r.passed is False]
+
+    def summary_line(self) -> str:
+        return (f"{self.impl.name:32s} pass {self.passed:3d}  "
+                f"fail {self.failed:3d}  no-claim {self.unclaimed:3d}")
+
+
+def run_suite(impl: Implementation,
+              cases: tuple[TestCase, ...] | None = None) -> SuiteReport:
+    report = SuiteReport(impl)
+    for case in cases or all_cases():
+        outcome = impl.run(case.source)
+        expected = case.expected_for(
+            impl.name,
+            is_hardware=impl.mode is Mode.HARDWARE,
+            opt_level=impl.opt_level)
+        report.results.append(CaseResult(case, outcome, expected))
+    return report
+
+
+def compare_implementations(
+        impls: tuple[Implementation, ...],
+        cases: tuple[TestCase, ...] | None = None) -> list[SuiteReport]:
+    return [run_suite(impl, cases) for impl in impls]

@@ -1,0 +1,215 @@
+"""Suite programs: capability alignment and the allocator interface."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="align-intptr-storage",
+        categories=(C.ALIGNMENT, C.INTPTR_PROPERTIES),
+        description="(u)intptr_t is capability-sized and capability-"
+                    "aligned; ptraddr_t is address-sized",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  assert(sizeof(intptr_t) == sizeof(void*));
+  assert(sizeof(uintptr_t) == sizeof(void*));
+  assert(_Alignof(intptr_t) == sizeof(void*));
+  assert(_Alignof(uintptr_t) == sizeof(void*));
+  assert(sizeof(ptraddr_t) < sizeof(intptr_t));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="align-pointer-in-struct",
+        categories=(C.ALIGNMENT,),
+        description="struct layout pads members to capability alignment",
+        source="""
+#include <stddef.h>
+#include <assert.h>
+struct mix { char c; int *p; char d; };
+int main(void) {
+  assert(offsetof(struct mix, p) == sizeof(void*));
+  assert(sizeof(struct mix) == 3 * sizeof(void*));
+  struct mix m;
+  assert(((ptraddr_t)&m.p) % sizeof(void*) == 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="align-local-pointer-object",
+        categories=(C.ALIGNMENT, C.ALLOCATOR, C.GLOBAL_VS_LOCAL),
+        description="stack slots holding capabilities are capability-"
+                    "aligned",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int g;
+int *gp = &g;
+int main(void) {
+  int x;
+  int *p = &x;
+  assert(((ptraddr_t)&p) % sizeof(void*) == 0);
+  assert(((ptraddr_t)&gp) % sizeof(void*) == 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="align-malloc-result",
+        categories=(C.ALIGNMENT, C.ALLOCATOR),
+        description="malloc returns capability-aligned storage suitable "
+                    "for storing pointers",
+        source="""
+#include <stdlib.h>
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  void *raw = malloc(3);
+  assert(((ptraddr_t)raw) % sizeof(void*) == 0);
+  int **slot = malloc(sizeof(int*));
+  int x = 7;
+  *slot = &x;
+  assert(**slot == 7);
+  free(raw);
+  free(slot);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="align-misaligned-cap-store",
+        categories=(C.ALIGNMENT,),
+        description="storing a capability at a misaligned address is UB "
+                    "(hardware: alignment abort)",
+        source="""
+#include <stdint.h>
+int main(void) {
+  char buf[64];
+  int x = 1;
+  int **slot = (int**)(buf + 1);
+  *slot = &x;
+  return 0;
+}
+""",
+        expect=undefined(UB.MISALIGNED_ACCESS),
+        hardware=traps(TrapKind.SIGSEGV),
+    ),
+    TestCase(
+        name="alloc-local-exact-bounds",
+        categories=(C.ALLOCATOR,),
+        description="&x has bounds spanning exactly the object's "
+                    "footprint (S3.1)",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  assert(cheri_length_get(&x) == sizeof(int));
+  assert(cheri_base_get(&x) == cheri_address_get(&x));
+  assert(cheri_offset_get(&x) == 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="alloc-malloc-bounds-cover-request",
+        categories=(C.ALLOCATOR,),
+        description="malloc'd capability bounds cover at least the "
+                    "requested size (padding allowed, S3.2)",
+        source="""
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  char *p = malloc(100);
+  assert(cheri_tag_get(p));
+  assert(cheri_length_get(p) >= 100);
+  assert(cheri_base_get(p) == cheri_address_get(p));
+  p[0] = 1;
+  p[99] = 2;
+  free(p);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="alloc-heap-disjoint",
+        categories=(C.ALLOCATOR,),
+        description="distinct heap allocations have disjoint capability "
+                    "footprints",
+        source="""
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int disjoint(void *x, void *y) {
+  ptraddr_t xtop = cheri_base_get(x) + cheri_length_get(x);
+  ptraddr_t ytop = cheri_base_get(y) + cheri_length_get(y);
+  return xtop <= cheri_base_get(y) || ytop <= cheri_base_get(x);
+}
+int main(void) {
+  char *a = malloc(40);
+  char *b = malloc(40);
+  assert(disjoint(a, b));
+  /* Large odd sizes force bounds rounding: the allocator must pad so
+     the rounded capability footprints still do not overlap (S3.2). */
+  char *c = malloc(1000001);
+  char *d = malloc(1000001);
+  assert(disjoint(c, d));
+  assert(disjoint(c, a) && disjoint(d, b));
+  free(a); free(b); free(c); free(d);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="alloc-global-array-bounds",
+        categories=(C.ALLOCATOR, C.GLOBAL_VS_LOCAL),
+        description="globals get capabilities spanning the whole object",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int garr[10];
+int main(void) {
+  assert(cheri_length_get(garr) == 10 * sizeof(int));
+  assert(cheri_length_get(&garr[3]) == 10 * sizeof(int));
+  garr[9] = 1;
+  return garr[9] - 1;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="alloc-large-padded-representable",
+        categories=(C.ALLOCATOR, C.REPRESENTABILITY, C.ALIGNMENT),
+        description="large allocations are padded/aligned so bounds stay "
+                    "representable (S3.2); the capability stays tagged",
+        source="""
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  /* Large enough to need the internal exponent. */
+  char *p = malloc(1000001);
+  assert(cheri_tag_get(p));
+  assert(cheri_length_get(p) >= 1000001);
+  assert(cheri_length_get(p) == cheri_representable_length(1000001));
+  p[1000000] = 42;
+  free(p);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+]

@@ -1,0 +1,183 @@
+"""Suite programs: const and capabilities (S3.9), initialization, casts,
+signedness."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="const-object-no-write-perm",
+        categories=(C.CONST, C.PERMISSIONS, C.INTRINSICS),
+        description="capabilities to const objects lack the store "
+                    "permission (S3.9)",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+const int answer = 42;
+int main(void) {
+  const int *p = &answer;
+  assert((cheri_perms_get(p) & CHERI_PERM_STORE) == 0);
+  assert((cheri_perms_get(p) & CHERI_PERM_LOAD) != 0);
+  return *p - 42;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="const-write-attempt",
+        categories=(C.CONST, C.PERMISSIONS),
+        description="writing to a const object through a cast is UB "
+                    "(hardware: permission fault, no write perm)",
+        source="""
+const int c = 5;
+int main(void) {
+  int *p = (int*)&c;
+  *p = 6;
+  return c;
+}
+""",
+        expect=undefined(UB.CHERI_INSUFFICIENT_PERMISSIONS),
+        hardware=traps(TrapKind.PERMISSION_VIOLATION),
+    ),
+    TestCase(
+        name="const-cast-roundtrip-legal",
+        categories=(C.CONST, C.CASTS),
+        description="S3.9: const casts are no-ops on the capability, so "
+                    "casting a non-const object's pointer through const "
+                    "and back keeps it writable",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 1;
+  int *p = &x;
+  const int *cp = p;            /* add const: no-op on capability */
+  assert(cheri_perms_get(cp) == cheri_perms_get(p));
+  int *back = (int*)cp;         /* cast it away again */
+  *back = 2;
+  return x - 2;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="const-string-literal",
+        categories=(C.CONST, C.STDLIB, C.ALLOCATOR),
+        description="string literals are read-only objects; writing "
+                    "through them is UB",
+        source="""
+int main(void) {
+  char *s = (char*)"hello";
+  if (s[0] != 'h') return 1;
+  s[0] = 'H';
+  return 0;
+}
+""",
+        expect=undefined(UB.CHERI_INSUFFICIENT_PERMISSIONS),
+        hardware=traps(TrapKind.PERMISSION_VIOLATION),
+    ),
+    TestCase(
+        name="init-uninit-pointer-use",
+        categories=(C.INITIALIZATION,),
+        description="using an uninitialised pointer is an unspecified-"
+                    "value use (UB when dereferenced)",
+        source="""
+int main(void) {
+  int *p;
+  return *p;
+}
+""",
+        expect=undefined(UB.READ_UNINITIALISED),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="init-static-zero-null",
+        categories=(C.INITIALIZATION, C.NULL, C.GLOBAL_VS_LOCAL,
+                    C.CONST, C.FUNCTION_POINTERS),
+        description="static-storage capabilities zero-initialise to "
+                    "NULL (untagged, address 0)",
+        source="""
+#include <stddef.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int *gp;
+static long *sp;
+const char *const cmsg;        /* const capability global */
+int (*gfp)(void);              /* function-pointer global */
+int main(void) {
+  assert(gp == NULL);
+  assert(sp == NULL);
+  assert(!cheri_tag_get(gp));
+  assert(cheri_address_get(gp) == 0);
+  static int *fn_static;
+  assert(fn_static == NULL);
+  assert(cmsg == NULL);
+  assert(gfp == NULL);
+  assert(!cheri_tag_get(gfp));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="cast-object-pointer-types",
+        categories=(C.CASTS, C.EQUALITY, C.ALIGNMENT,
+                    C.FUNCTION_POINTERS),
+        description="object-pointer casts (via void*) preserve the "
+                    "capability exactly",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int helper(void) { return 3; }
+int main(void) {
+  long x = 7;
+  long *p = &x;
+  void *v = p;
+  char *c = (char*)v;
+  long *q = (long*)c;
+  assert(cheri_is_equal_exact(p, q));
+  assert(*q == 7);
+  /* Misaligned view: the capability is unchanged, only the access
+     type's alignment matters. */
+  char second = c[1];
+  (void)second;
+  /* Function pointers survive a void* round trip too. */
+  void *fv = (void*)helper;
+  int (*h)(void) = (int(*)(void))fv;
+  assert(h() == 3);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="signed-conversions-of-caps",
+        categories=(C.SIGNEDNESS, C.CASTS, C.PTR_INT_CONVERSION,
+                    C.INTPTR_PROPERTIES, C.NULL),
+        description="casting capabilities to narrow/signed integer "
+                    "types keeps the (truncated) address and drops the "
+                    "capability",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  uintptr_t u = (uintptr_t)p;
+  /* Truncating conversions agree with address arithmetic. */
+  uint32_t lo32 = (uint32_t)u;
+  assert(lo32 == (cheri_address_get(p) & 0xffffffffu));
+  /* Signed reinterpretation round-trips through uintptr_t. */
+  intptr_t s = (intptr_t)u;
+  assert((uintptr_t)s == u);
+  /* A pointer rebuilt from the truncated integer has no tag. */
+  int *forged = (int*)(uintptr_t)lo32;
+  assert(!cheri_tag_get(forged));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+]

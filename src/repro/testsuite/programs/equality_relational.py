@@ -1,0 +1,177 @@
+"""Suite programs: equality (S3.6), relational operators, constant
+assignment."""
+
+from repro.errors import UB
+from repro.testsuite.case import TestCase, exits, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="eq-address-only",
+        categories=(C.EQUALITY, C.INTRINSICS),
+        description="== compares address fields only (S3.6 option 3): "
+                    "an untagged copy still compares equal",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  int *q = cheri_tag_clear(p);
+  assert(p == q);                   /* addresses equal */
+  assert(!cheri_is_equal_exact(p, q));  /* tags differ */
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="eq-across-capability-types",
+        categories=(C.EQUALITY, C.INTPTR_PROPERTIES),
+        description="equality agrees across pointer and (u)intptr_t "
+                    "views of the same capability",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  intptr_t ip = (intptr_t)p;
+  uintptr_t up = (uintptr_t)p;
+  assert(ip == (intptr_t)up);
+  assert((int*)ip == p);
+  assert(up == (uintptr_t)&x);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="eq-null-comparisons",
+        categories=(C.EQUALITY, C.NULL),
+        description="null comparisons are address comparisons",
+        source="""
+#include <stddef.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  int *n = NULL;
+  assert(n == NULL);
+  assert(p != NULL);
+  assert(!(n != 0));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="eq-exact-vs-address",
+        categories=(C.EQUALITY, C.INTRINSICS),
+        description="cheri_is_equal_exact distinguishes capabilities "
+                    "with equal addresses but different metadata",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  char buf[32];
+  char *p = buf;
+  char *narrow = cheri_bounds_set(p, 8);
+  char *noperm = cheri_perms_and(p, 0);
+  assert(p == narrow);
+  assert(p == noperm);
+  assert(!cheri_is_equal_exact(p, narrow));  /* bounds differ */
+  assert(!cheri_is_equal_exact(p, noperm));  /* perms differ */
+  assert(cheri_is_equal_exact(p, p));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="eq-same-address-different-provenance",
+        categories=(C.EQUALITY, C.PROVENANCE, C.TEMPORAL),
+        description="S3.11: a dangling pointer and a new allocation at "
+                    "the same address compare equal under ==, though "
+                    "their provenances differ",
+        source="""
+#include <stdlib.h>
+#include <assert.h>
+int main(void) {
+  char *a = malloc(16);
+  free(a);
+  char *b = malloc(16);   /* may or may not reuse the address */
+  if (a == b) { return 1; }
+  assert(b != a || 1);
+  free(b);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="rel-within-object",
+        categories=(C.RELATIONAL,),
+        description="relational comparison of pointers into the same "
+                    "array is defined and address-based",
+        source="""
+#include <assert.h>
+int main(void) {
+  int a[8];
+  int *lo = &a[1];
+  int *hi = &a[6];
+  assert(lo < hi);
+  assert(hi > lo);
+  assert(lo <= lo && hi >= hi);
+  assert(!(hi < lo));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="rel-different-objects-ub",
+        categories=(C.RELATIONAL, C.PROVENANCE, C.GLOBAL_VS_LOCAL),
+        description="ordering pointers to different objects is UB in the "
+                    "abstract machine (provenance check); hardware just "
+                    "compares addresses",
+        source="""
+int g;
+int main(void) {
+  int l;
+  int *p = &g;
+  int *q = &l;
+  /* Globals sit below the stack on every simulated target. */
+  if (p < q) return 1;
+  return 2;
+}
+""",
+        expect=undefined(UB.PTR_RELATIONAL_DIFFERENT_PROVENANCE),
+        hardware=exits(1),
+    ),
+    TestCase(
+        name="const-assign-capability-vars",
+        categories=(C.CONSTANT_ASSIGNMENT, C.INITIALIZATION,
+                    C.INTPTR_PROPERTIES, C.SIGNEDNESS),
+        description="assigning integer constants to capability-typed "
+                    "variables yields NULL-derived values with that "
+                    "address",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  uintptr_t u = 0x1000;       /* constant into uintptr_t */
+  intptr_t  s = -16;          /* negative constant into intptr_t */
+  assert(u == 0x1000);
+  assert(s == -16);
+  assert(!cheri_tag_get((void*)u));
+  assert(cheri_address_get((void*)u) == 0x1000);
+  char *p = (char*)u;
+  assert((uintptr_t)p == u);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+]

@@ -1,0 +1,152 @@
+"""Suite programs: function pointers (sentries) and calling convention."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="funptr-basic-call",
+        categories=(C.FUNCTION_POINTERS,),
+        description="declaring, assigning, and calling through a "
+                    "function pointer",
+        source="""
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+int main(void) {
+  int (*f)(int, int) = add;
+  if (f(2, 3) != 5) return 1;
+  f = sub;
+  if (f(5, 3) != 2) return 2;
+  if (apply(add, 20, 22) != 42) return 3;
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="funptr-sentry-sealed",
+        categories=(C.FUNCTION_POINTERS, C.INTRINSICS, C.MORELLO_ENCODING),
+        description="CHERI C function pointers are sealed entry "
+                    "capabilities (sentries) with execute permission",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int f(void) { return 1; }
+int main(void) {
+  int (*p)(void) = f;
+  assert(cheri_tag_get(p));
+  assert(cheri_is_sealed(p));
+  assert(cheri_is_sentry(p));
+  assert(cheri_type_get(p) != 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="funptr-equality",
+        categories=(C.FUNCTION_POINTERS, C.EQUALITY),
+        description="function pointer equality is address equality",
+        source="""
+#include <assert.h>
+int f(void) { return 1; }
+int g(void) { return 2; }
+int main(void) {
+  int (*pf)(void) = f;
+  int (*pg)(void) = g;
+  assert(pf == f);
+  assert(pf != pg);
+  assert(&f == pf);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="funptr-null-call",
+        categories=(C.FUNCTION_POINTERS, C.NULL),
+        description="calling a null function pointer is UB (hardware: "
+                    "tag fault on branch)",
+        source="""
+int main(void) {
+  int (*f)(void) = 0;
+  return f();
+}
+""",
+        expect=undefined(UB.CHERI_INVALID_CAP),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="funptr-through-intptr",
+        categories=(C.FUNCTION_POINTERS, C.PTR_INT_CONVERSION),
+        description="function pointers survive (u)intptr_t round trips "
+                    "(their capability, including the seal, is carried)",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int f(int x) { return x * 2; }
+int main(void) {
+  uintptr_t u = (uintptr_t)&f;
+  int (*p)(int) = (int(*)(int))u;
+  assert(cheri_is_sentry(p));
+  return p(21) - 42;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="funptr-data-access-denied",
+        categories=(C.FUNCTION_POINTERS, C.PERMISSIONS, C.UNFORGEABILITY),
+        description="a function pointer cannot be used for data access: "
+                    "sentries are unusable for anything but branching",
+        source="""
+int f(void) { return 1; }
+int main(void) {
+  int (*p)(void) = f;
+  int *data = (int*)p;
+  return *data;
+}
+""",
+        expect=undefined(UB.CHERI_INVALID_CAP),
+        hardware=traps(TrapKind.SEAL_VIOLATION),
+    ),
+    TestCase(
+        name="funptr-array-dispatch",
+        categories=(C.FUNCTION_POINTERS,),
+        description="arrays of function pointers: capabilities stored "
+                    "and reloaded from memory keep working",
+        source="""
+int zero(void) { return 0; }
+int one(void)  { return 1; }
+int two(void)  { return 2; }
+int main(void) {
+  int (*table[3])(void) = { zero, one, two };
+  int total = 0;
+  for (int i = 0; i < 3; i++) total += table[i]();
+  return total - 3;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="varargs-pass-capability",
+        categories=(C.CALLING_CONVENTION, C.FUNCTION_POINTERS),
+        description="capabilities pass intact through variadic calls "
+                    "(printf %p receives the full capability)",
+        source="""
+#include <stdio.h>
+#include <assert.h>
+int main(void) {
+  int x = 7;
+  int *p = &x;
+  printf("%d %p\\n", x, (void*)p);
+  printf("many: %d %d %d %d %d\\n", 1, 2, 3, 4, 5);
+  return 0;
+}
+""",
+        expect=exits(0, "7 (", "many: 1 2 3 4 5"),
+    ),
+]

@@ -1,0 +1,309 @@
+"""Suite programs: (u)intptr_t properties, arithmetic, bitwise ops,
+pointer/integer conversion, and ptraddr_t."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="intptr-roundtrip-identity",
+        categories=(C.INTPTR_PROPERTIES, C.PTR_INT_CONVERSION, C.CASTS),
+        description="pointer -> intptr_t -> pointer preserves the whole "
+                    "capability (S3.3: casts are no-ops)",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 42;
+  int *p = &x;
+  intptr_t ip = (intptr_t)p;
+  int *q = (int*)ip;
+  assert(q == p);
+  assert(cheri_is_equal_exact(p, q));
+  assert(*q == 42);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="uintptr-roundtrip-identity",
+        categories=(C.INTPTR_PROPERTIES, C.PTR_INT_CONVERSION),
+        description="the unsigned round trip also preserves tag, bounds, "
+                    "and permissions",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  long v = 9;
+  long *p = &v;
+  uintptr_t u = (uintptr_t)p;
+  long *q = (long*)u;
+  assert(cheri_tag_get(q));
+  assert(cheri_length_get(q) == cheri_length_get(p));
+  assert(cheri_perms_get(q) == cheri_perms_get(p));
+  *q = 10;
+  return v - 10;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-signedness-pair",
+        categories=(C.INTPTR_PROPERTIES, C.SIGNEDNESS),
+        description="intptr_t is signed, uintptr_t unsigned; both carry "
+                    "the same capability (S4.3 integer_value)",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  assert((intptr_t)-1 < 0);
+  assert((uintptr_t)-1 > 0);
+  int x;
+  intptr_t ip = (intptr_t)&x;
+  uintptr_t up = (uintptr_t)&x;
+  assert((uintptr_t)ip == up);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-rank-maximal",
+        categories=(C.INTPTR_PROPERTIES, C.INTPTR_ARITHMETIC),
+        description="no standard integer type outranks (u)intptr_t "
+                    "(S3.7), so size_t + intptr_t derives from the "
+                    "capability operand",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[4];
+  a[2] = 5;
+  intptr_t ip = (intptr_t)a;
+  /* size_t (lower rank) converts to intptr_t; derivation picks ip. */
+  intptr_t ip1 = sizeof(int)*2 + ip;
+  int *p = (int*)ip1;
+  assert(cheri_tag_get(p));
+  return *p - 5;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-null-zero",
+        categories=(C.INTPTR_PROPERTIES, C.NULL, C.CONSTANT_ASSIGNMENT),
+        description="(intptr_t)NULL is zero; zero casts back to a null "
+                    "pointer",
+        source="""
+#include <stdint.h>
+#include <stddef.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  intptr_t z = (intptr_t)(void*)0;
+  assert(z == 0);
+  void *p = (void*)z;
+  assert(p == NULL);
+  assert(!cheri_tag_get(p));
+  intptr_t c = 0;            /* constant into capability-carrying type */
+  assert((void*)c == NULL);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-arith-within-bounds",
+        categories=(C.INTPTR_ARITHMETIC, C.INTPTR_PROPERTIES),
+        description="in-bounds intptr_t arithmetic preserves the tag and "
+                    "produces a dereferenceable pointer",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  int a[8];
+  a[3] = 33;
+  uintptr_t u = (uintptr_t)a;
+  u += 3 * sizeof(int);
+  int *p = (int*)u;
+  assert(*p == 33);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-transient-nonrepresentable",
+        categories=(C.INTPTR_ARITHMETIC, C.REPRESENTABILITY,
+                    C.INTPTR_PROPERTIES, C.OPTIMIZATION_EFFECTS),
+        description="a transient excursion into non-representability "
+                    "leaves ghost state: the address survives but access "
+                    "is UB (S3.3 option (3)/(c))",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  int x[2];
+  uintptr_t i = (uintptr_t)&x[0];
+  uintptr_t j = i + 100001 * sizeof(int);
+  uintptr_t k = j - 100000 * sizeof(int);
+  /* The integer value of the address is always defined: */
+  assert(k == i + sizeof(int));
+  int *q = (int*)k;
+  *q = 1;
+  return 0;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="intptr-arith-value-always-defined",
+        categories=(C.INTPTR_ARITHMETIC, C.INTPTR_PROPERTIES),
+        description="even far outside bounds, the integer value of "
+                    "(u)intptr_t arithmetic is fully defined (unlike "
+                    "pointer arithmetic)",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  uintptr_t u = (uintptr_t)&x;
+  uintptr_t far = u + (1u << 20);
+  assert(far - u == (1u << 20));
+  assert(far > u);
+  ptraddr_t a = (ptraddr_t)far;
+  assert(a == (ptraddr_t)u + (1u << 20));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intptr-diff-via-cast",
+        categories=(C.INTPTR_ARITHMETIC, C.PTR_INT_CONVERSION),
+        description="subtracting two intptr_t values from different "
+                    "objects is defined (integers), unlike pointer "
+                    "subtraction",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  int x, y;
+  intptr_t a = (intptr_t)&x;
+  intptr_t b = (intptr_t)&y;
+  intptr_t d = a - b;           /* fine: integer arithmetic */
+  assert(d != 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="bitwise-low-bit-tagging",
+        categories=(C.INTPTR_BITWISE, C.ALIGNMENT, C.INTPTR_PROPERTIES),
+        description="the classic low-bit metadata idiom: set and clear "
+                    "tag bits in an aligned pointer via uintptr_t",
+        source="""
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+  long v = 77;
+  long *p = &v;                  /* 16-aligned allocation */
+  uintptr_t u = (uintptr_t)p;
+  assert((u & 7) == 0);
+  uintptr_t tagged = u | 1;      /* stash a mark bit */
+  assert((tagged & 1) == 1);
+  uintptr_t clean = tagged & ~(uintptr_t)7;
+  long *q = (long*)clean;
+  assert(*q == 77);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="bitwise-mask-below-base",
+        categories=(C.INTPTR_BITWISE, C.REPRESENTABILITY,
+                    C.MORELLO_ENCODING, C.INTPTR_PROPERTIES),
+        description="masking an address below the allocation makes the "
+                    "bounds unspecified in ghost state (the Appendix A "
+                    "experiment)",
+        source="""
+#include <stdint.h>
+#include <limits.h>
+int main(void) {
+  int x[2];
+  x[0] = 1;
+  intptr_t ip = (intptr_t)&x[0];
+  intptr_t ip3 = ip & INT_MAX;   /* drops high bits: below the base */
+  int *q = (int*)ip3;
+  return *q;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+        # GCC's allocator keeps the stack below INT_MAX, so the mask is
+        # the identity and the access succeeds (S5 / Appendix A).
+        overrides={
+            "gcc-morello-O0": exits(1),
+            "gcc-morello-O3": exits(1),
+        },
+    ),
+    TestCase(
+        name="bitwise-xor-roundtrip",
+        categories=(C.INTPTR_BITWISE, C.INTPTR_ARITHMETIC,
+                    C.UNFORGEABILITY),
+        description="XOR-linked-list style double-xor restores the "
+                    "address; the capability survives via derivation "
+                    "from the left (capability) operand",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int v = 3;
+  int *p = &v;
+  uintptr_t key = 0xf0f0;
+  uintptr_t enc = (uintptr_t)p ^ key;
+  uintptr_t dec = enc ^ key;
+  assert(dec == (uintptr_t)p);
+  int *q = (int*)dec;
+  /* The excursion may have left representable range: semantics makes
+     the ghost state sticky, so the deref's validity is the test. */
+  if (cheri_tag_get(q)) { return *q - 3; }
+  return 0;
+}
+""",
+        expect=undefined(UB.READ_UNINITIALISED,),
+        hardware=exits(0),
+    ),
+    TestCase(
+        name="ptraddr-pure-integer",
+        categories=(C.PTRADDR, C.PTR_INT_CONVERSION, C.UNFORGEABILITY,
+                    C.PROVENANCE),
+        description="ptraddr_t holds only the address: casting back "
+                    "yields an untagged (NULL-derived) pointer whose "
+                    "dereference is UB even with correct provenance",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 5;
+  ptraddr_t a = (ptraddr_t)&x;     /* exposes the allocation */
+  int *p = (int*)a;                /* PNVI gives provenance, CHERI no tag */
+  assert(!cheri_tag_get(p));
+  assert((ptraddr_t)p == a);
+  return *p;
+}
+""",
+        expect=undefined(UB.CHERI_INVALID_CAP),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+]

@@ -1,0 +1,222 @@
+"""Suite programs: CHERI intrinsics (S4.5), permissions (S3.9/S2.1),
+Morello encoding properties, and representability (S3.2/S3.10)."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="intr-field-getters",
+        categories=(C.INTRINSICS,),
+        description="address/base/length/offset getters agree with each "
+                    "other",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  long a[4];
+  long *p = &a[2];
+  assert(cheri_address_get(p) == cheri_base_get(p) + 2 * sizeof(long));
+  assert(cheri_offset_get(p) == 2 * sizeof(long));
+  assert(cheri_length_get(p) == 4 * sizeof(long));
+  assert(cheri_tag_get(p));
+  assert(!cheri_is_sealed(p));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-address-set",
+        categories=(C.INTRINSICS, C.PTRADDR),
+        description="cheri_address_set moves only the address; in-bounds "
+                    "results stay dereferenceable",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[4];
+  a[3] = 9;
+  int *p = a;
+  ptraddr_t target = cheri_address_get(p) + 3 * sizeof(int);
+  int *q = cheri_address_set(p, target);
+  assert(cheri_tag_get(q));
+  assert(cheri_base_get(q) == cheri_base_get(p));
+  return *q - 9;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-bounds-set-monotonic",
+        categories=(C.INTRINSICS, C.UNFORGEABILITY, C.SUBOBJECT),
+        description="bounds can be narrowed but never widened: a widening "
+                    "request detags (least privilege, S2.1)",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  char buf[64];
+  char *narrow = cheri_bounds_set(buf, 16);
+  assert(cheri_tag_get(narrow));
+  assert(cheri_length_get(narrow) == 16);
+  char *wide = cheri_bounds_set(narrow, 64);   /* widening: detag */
+  assert(!cheri_tag_get(wide));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-narrowed-bounds-enforced",
+        categories=(C.INTRINSICS, C.OOB_ACCESS, C.SUBOBJECT),
+        description="access through intrinsically narrowed bounds is "
+                    "checked against the narrowed region",
+        source="""
+#include <cheriintrin.h>
+int main(void) {
+  char buf[64];
+  buf[20] = 1;
+  char *narrow = cheri_bounds_set(buf, 16);
+  return narrow[20];
+}
+""",
+        expect=undefined(UB.CHERI_BOUNDS_VIOLATION),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+    ),
+    TestCase(
+        name="intr-perms-and-enforced",
+        categories=(C.INTRINSICS, C.PERMISSIONS),
+        description="dropping the store permission makes writes UB while "
+                    "reads keep working",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 5;
+  int *p = &x;
+  size_t perms = cheri_perms_get(p);
+  int *ro = cheri_perms_and(p, perms & ~(size_t)CHERI_PERM_STORE);
+  assert(*ro == 5);       /* load still allowed */
+  *ro = 6;                /* store is not */
+  return 0;
+}
+""",
+        expect=undefined(UB.CHERI_INSUFFICIENT_PERMISSIONS),
+        hardware=traps(TrapKind.PERMISSION_VIOLATION),
+    ),
+    TestCase(
+        name="perms-monotonic-no-regain",
+        categories=(C.PERMISSIONS, C.UNFORGEABILITY, C.INTRINSICS),
+        description="dropped permissions cannot be reinstated: "
+                    "perms_and with a larger mask does not add bits",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *p = &x;
+  size_t all = cheri_perms_get(p);
+  int *less = cheri_perms_and(p, all & ~(size_t)CHERI_PERM_LOAD);
+  int *back = cheri_perms_and(less, all);     /* try to regain */
+  assert((cheri_perms_get(back) & CHERI_PERM_LOAD) == 0);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-bounds-set-exact",
+        categories=(C.INTRINSICS, C.REPRESENTABILITY, C.MORELLO_ENCODING),
+        description="bounds_set_exact detags when the requested bounds "
+                    "are not exactly representable; bounds_set rounds",
+        source="""
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  /* A large region: byte-exact sub-bounds are not representable. */
+  char *big = malloc(1 << 20);
+  char *rounded = cheri_bounds_set(big, (1 << 19) + 3);
+  assert(cheri_tag_get(rounded));
+  assert(cheri_length_get(rounded) >= (1 << 19) + 3);
+  char *exact = cheri_bounds_set_exact(big, (1 << 19) + 3);
+  assert(!cheri_tag_get(exact));
+  /* Small bounds are always byte-exact. */
+  char *small = cheri_bounds_set_exact(big, 100);
+  assert(cheri_tag_get(small));
+  assert(cheri_length_get(small) == 100);
+  free(big);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-representable-queries",
+        categories=(C.INTRINSICS, C.REPRESENTABILITY, C.MORELLO_ENCODING,
+                    C.ALIGNMENT),
+        description="representable_length and alignment_mask describe "
+                    "the Morello compression: small lengths exact, large "
+                    "lengths rounded with stronger alignment",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  /* Byte-exact for small objects... */
+  assert(cheri_representable_length(1) == 1);
+  assert(cheri_representable_length(100) == 100);
+  assert(cheri_representable_alignment_mask(100) == (size_t)-1);
+  /* ...rounded for large ones. */
+  size_t big = (1 << 22) + 1;
+  assert(cheri_representable_length(big) > big);
+  assert(cheri_representable_alignment_mask(big) != (size_t)-1);
+  /* The rounded length is itself representable (idempotent). */
+  size_t r = cheri_representable_length(big);
+  assert(cheri_representable_length(r) == r);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="intr-tag-clear-then-deref",
+        categories=(C.INTRINSICS, C.UNFORGEABILITY),
+        description="an explicitly detagged capability cannot be used "
+                    "for access (UB_CHERI_InvalidCap)",
+        source="""
+#include <cheriintrin.h>
+int main(void) {
+  int x = 3;
+  int *p = cheri_tag_clear(&x);
+  return *p;
+}
+""",
+        expect=undefined(UB.CHERI_INVALID_CAP),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="intr-signed-args",
+        categories=(C.INTRINSICS, C.SIGNEDNESS, C.INTPTR_PROPERTIES),
+        description="intrinsics accept both signed and unsigned "
+                    "capability-carrying arguments; field values are "
+                    "unsigned",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  intptr_t ip = (intptr_t)&x;     /* signed view */
+  uintptr_t up = (uintptr_t)&x;   /* unsigned view */
+  assert(cheri_address_get(ip) == cheri_address_get(up));
+  assert(cheri_length_get(ip) == sizeof(int));
+  assert((ptraddr_t)cheri_base_get(ip) <= (ptraddr_t)cheri_address_get(ip));
+  assert(cheri_tag_get(ip) && cheri_tag_get(up));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+]

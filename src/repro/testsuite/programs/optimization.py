@@ -1,0 +1,110 @@
+"""Suite programs: effects of compiler optimisations (S3.1-S3.5).
+
+These tests have *different required outcomes per implementation*: the
+abstract machine flags UB, unoptimised hardware traps, and optimised
+hardware may silently succeed -- which the UB-based semantics licenses.
+"""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="opt-doomed-write-eliminated",
+        categories=(C.OPTIMIZATION_EFFECTS,),
+        description="the S3.1 program: optimisation can remove the "
+                    "doomed OOB write entirely, so no trap fires",
+        source="""
+void f(int *p, int i) {
+  int *q = p + i;
+  *q = 42;
+}
+int main(void) {
+  int x=0, y=0;
+  f(&x, 1);
+  return y;
+}
+""",
+        expect=undefined(UB.CHERI_BOUNDS_VIOLATION),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+        overrides={
+            "clang-morello-O3": exits(0),
+            "clang-riscv-O3": exits(0),
+            "gcc-morello-O3": exits(0),
+        },
+    ),
+    TestCase(
+        name="opt-inbounds-assumption",
+        categories=(C.OPTIMIZATION_EFFECTS,),
+        description="the S3.1 g() example: the compiler assumes a[i] is "
+                    "in bounds of a[1] and rewrites it to a[0], removing "
+                    "the capability exception",
+        source="""
+void h(char *a) { a[0] = 7; }
+char g(int i) {
+  char a[1];
+  h(a);
+  return a[i];
+}
+int main(void) {
+  return g(1);
+}
+""",
+        expect=undefined(UB.CHERI_BOUNDS_VIOLATION),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+        overrides={
+            "clang-morello-O3": exits(7),
+            "clang-riscv-O3": exits(7),
+            "gcc-morello-O3": exits(7),
+        },
+    ),
+    TestCase(
+        name="opt-transient-collapse",
+        categories=(C.OPTIMIZATION_EFFECTS, C.REPRESENTABILITY,
+                    C.INTPTR_ARITHMETIC),
+        description="optimisation may collapse transient excursions "
+                    "into non-representability (S3.3 option (c): allowed "
+                    "to eliminate, not to introduce)",
+        source="""
+#include <stdint.h>
+int main(void) {
+  int x[2];
+  x[1] = 3;
+  uintptr_t i = (uintptr_t)&x[0];
+  uintptr_t j = i + 100001 * sizeof(int);
+  uintptr_t k = j - 100000 * sizeof(int);
+  int *q = (int*)k;
+  return *q;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+        overrides={
+            "clang-morello-O3": exits(3),
+            "clang-riscv-O3": exits(3),
+            "gcc-morello-O3": exits(3),
+        },
+    ),
+    TestCase(
+        name="opt-never-introduces-nonrepresentability",
+        categories=(C.OPTIMIZATION_EFFECTS,
+                    C.INTPTR_ARITHMETIC, C.INTPTR_PROPERTIES),
+        description="S3.2/S3.3: p + (A - B) must not be compiled as "
+                    "(p + A) - B; already-reduced arithmetic stays "
+                    "representable at every level",
+        source="""
+#include <stdint.h>
+int main(void) {
+  int x[2];
+  x[1] = 9;
+  uintptr_t i = (uintptr_t)&x[0];
+  /* The source expression folds to + sizeof(int): no excursion. */
+  uintptr_t k = i + (100001 * sizeof(int) - 100000 * sizeof(int));
+  int *q = (int*)k;
+  return *q;
+}
+""",
+        expect=exits(9),
+    ),
+]

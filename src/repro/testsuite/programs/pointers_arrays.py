@@ -1,0 +1,178 @@
+"""Suite programs: array addresses, pointer offsetting, bounds checking."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="array-whole-vs-element",
+        categories=(C.ARRAY_ADDRESSES, C.EQUALITY),
+        description="&arr, arr, and &arr[0] have the same address; all "
+                    "carry the whole array's bounds",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int arr[4];
+  assert((void*)&arr == (void*)arr);
+  assert((void*)arr == (void*)&arr[0]);
+  assert(cheri_length_get(&arr) == sizeof(arr));
+  assert(cheri_length_get(&arr[0]) == sizeof(arr));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="offset-element-address",
+        categories=(C.POINTER_OFFSETTING, C.ARRAY_ADDRESSES),
+        description="&a[i] moves only the address field; bounds and "
+                    "authority are unchanged (S3.8 default)",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  long a[8];
+  long *p = &a[5];
+  assert(cheri_address_get(p) == cheri_address_get(a) + 5 * sizeof(long));
+  assert(cheri_base_get(p) == cheri_base_get(a));
+  assert(cheri_length_get(p) == cheri_length_get(a));
+  *p = 11;
+  assert(a[5] == 11);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="offset-plus-equals-index",
+        categories=(C.POINTER_OFFSETTING, C.EQUALITY),
+        description="p + i and &p[i] agree",
+        source="""
+#include <assert.h>
+int main(void) {
+  int a[6];
+  int *p = a;
+  assert(p + 4 == &p[4]);
+  assert(&a[6] == p + 6);   /* one-past is constructible */
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="offset-down-then-up",
+        categories=(C.POINTER_OFFSETTING, C.POINTER_ARITHMETIC,
+                    C.RELATIONAL),
+        description="in-bounds down-then-up pointer arithmetic is exact",
+        source="""
+#include <assert.h>
+int main(void) {
+  int a[10];
+  int *p = &a[9];
+  int *q = p - 9;
+  assert(q == a);
+  assert(q < p);
+  assert(p >= q + 9);
+  q = q + 3;
+  *q = 5;
+  assert(a[3] == 5);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="one-past-construct-and-bounds",
+        categories=(C.ONE_PAST,),
+        description="the one-past pointer is legal, keeps bounds and "
+                    "tag, and is always representable",
+        source="""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[4];
+  int *end = a + 4;
+  assert(cheri_tag_get(end));
+  assert(cheri_address_get(end) == cheri_base_get(a) + sizeof(a));
+  assert(cheri_length_get(end) == sizeof(a));
+  for (int *p = a; p != end; p++) *p = 1;
+  assert(a[0] + a[1] + a[2] + a[3] == 4);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="oob-read-one-past",
+        categories=(C.OOB_ACCESS,),
+        description="reading through the one-past pointer is UB "
+                    "(hardware: bounds fault)",
+        source="""
+int main(void) {
+  int a[2];
+  a[0] = 1; a[1] = 2;
+  int *p = a + 2;
+  return *p;
+}
+""",
+        expect=undefined(UB.CHERI_BOUNDS_VIOLATION),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+    ),
+    TestCase(
+        name="oob-write-stack-neighbour",
+        categories=(C.OOB_ACCESS, C.GLOBAL_VS_LOCAL),
+        description="a write past a local cannot corrupt the adjacent "
+                    "stack slot",
+        source="""
+int main(void) {
+  int victim = 7;
+  int x[1];
+  x[0] = 0;
+  int *p = x;
+  p[1] = 99;            /* would hit a neighbouring slot untrapped */
+  return victim;
+}
+""",
+        expect=undefined(),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+    ),
+    TestCase(
+        name="oob-far-pointer-construction",
+        categories=(C.OOB_ACCESS, C.POINTER_ARITHMETIC,
+                    C.OPTIMIZATION_EFFECTS),
+        description="constructing a far out-of-bounds pointer is already "
+                    "UB at pointer type (S3.2 option (a)); hardware "
+                    "clears the tag at the representability limit",
+        source="""
+int main(void) {
+  int x[2];
+  int *p = &x[0];
+  int *q = p + 100001;   /* UB here under ISO/CHERI C */
+  q = q - 100000;
+  *q = 1;
+  return 0;
+}
+""",
+        expect=undefined(UB.OUT_OF_BOUNDS_PTR_ARITH),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="oob-negative-index",
+        categories=(C.OOB_ACCESS,),
+        description="negative indexing below the allocation is UB "
+                    "(hardware: bounds fault)",
+        source="""
+int main(void) {
+  int a[4];
+  a[0] = 1;
+  int *p = &a[0];
+  return p[-1];
+}
+""",
+        expect=undefined(),
+        hardware=traps(TrapKind.BOUNDS_VIOLATION),
+    ),
+]

@@ -1,0 +1,167 @@
+"""Suite programs: PNVI-ae-udi provenance (S2.3/S3.11), temporal safety
+(use after free / scope exit), and null capabilities."""
+
+from repro.errors import UB
+from repro.testsuite.case import TestCase, exits, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="prov-unexposed-guess",
+        categories=(C.PROVENANCE, C.PTR_INT_CONVERSION, C.UNFORGEABILITY,
+                    C.NULL),
+        description="an integer matching an unexposed allocation's "
+                    "address gets empty provenance AND no tag: both "
+                    "layers reject the access (S3.11: complementary)",
+        source="""
+#include <stdint.h>
+int main(void) {
+  int secret = 99;
+  /* No cast of &secret anywhere: the allocation stays unexposed.   */
+  int probe;
+  uintptr_t guess = (uintptr_t)&probe;  /* expose only probe */
+  /* Build an address by pure integer arithmetic. */
+  ptraddr_t addr = (ptraddr_t)guess - 16;
+  int *p = (int*)(uintptr_t)addr;
+  return *p;
+}
+""",
+        expect=undefined(UB.CHERI_INVALID_CAP),
+    ),
+    TestCase(
+        name="prov-exposed-recovers-provenance",
+        categories=(C.PROVENANCE, C.PTR_INT_CONVERSION),
+        description="PNVI-ae: after a pointer is cast to ptraddr_t the "
+                    "allocation is exposed, and an integer-built pointer "
+                    "gets its provenance (the capability tag is still "
+                    "the missing authority)",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 4;
+  ptraddr_t a = (ptraddr_t)&x;        /* exposes x */
+  int *p = (int*)(uintptr_t)a;        /* provenance: x; tag: none */
+  assert(p == &x);
+  assert(!cheri_tag_get(p));
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="prov-diff-same-object-only",
+        categories=(C.PROVENANCE, C.RELATIONAL),
+        description="pointer subtraction requires matching provenance "
+                    "(ISO 6.5.6p9); capabilities alone cannot check this "
+                    "(S3.11 check 2)",
+        source="""
+int main(void) {
+  int a[4];
+  int b[4];
+  int *p = &a[3];
+  int *q = &b[0];
+  return (int)(p - q);
+}
+""",
+        expect=undefined(UB.PTR_DIFF_DIFFERENT_PROVENANCE),
+    ),
+    TestCase(
+        name="prov-carried-through-intptr",
+        categories=(C.PROVENANCE, C.INTPTR_PROPERTIES),
+        description="provenance flows through (u)intptr_t casts and "
+                    "memory: a pointer stored via uintptr_t and reloaded "
+                    "still accesses its allocation",
+        source="""
+#include <stdint.h>
+#include <stdlib.h>
+#include <assert.h>
+int main(void) {
+  int *heap = malloc(sizeof(int));
+  *heap = 21;
+  uintptr_t slot = (uintptr_t)heap;
+  uintptr_t *box = malloc(sizeof(uintptr_t));
+  *box = slot;                    /* store the capability as integer */
+  int *back = (int*)*box;         /* reload and convert back */
+  assert(*back == 21);
+  *back += 21;
+  assert(*heap == 42);
+  free(heap);
+  free(box);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="temporal-use-after-free",
+        categories=(C.TEMPORAL, C.ALLOCATOR),
+        description="S3.11 check 3: liveness is a provenance-level "
+                    "check; without revocation the hardware capability "
+                    "still works after free",
+        source="""
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  return *p;     /* UB; plain CHERI hardware does not catch this */
+}
+""",
+        expect=undefined(UB.ACCESS_DEAD_ALLOCATION),
+        hardware=exits(5),
+    ),
+    TestCase(
+        name="temporal-write-after-free",
+        categories=(C.TEMPORAL,),
+        description="writes through dangling heap pointers are UB "
+                    "(undetected by non-revoking hardware)",
+        source="""
+#include <stdlib.h>
+int main(void) {
+  char *p = malloc(8);
+  free(p);
+  p[0] = 1;
+  return 0;
+}
+""",
+        expect=undefined(UB.ACCESS_DEAD_ALLOCATION),
+        hardware=exits(0),
+    ),
+    TestCase(
+        name="temporal-double-free",
+        categories=(C.TEMPORAL,),
+        description="double free is UB at the abstract machine",
+        source="""
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  free(p);
+  free(p);
+  return 0;
+}
+""",
+        expect=undefined(UB.DOUBLE_FREE),
+        hardware=exits(0),
+    ),
+    TestCase(
+        name="temporal-escaped-stack-pointer",
+        categories=(C.TEMPORAL, C.GLOBAL_VS_LOCAL, C.FUNCTION_POINTERS),
+        description="a stack pointer escaping its frame is dead on "
+                    "return: use is UB; hardware may read recycled stack",
+        source="""
+int *leak;
+void f(void) {
+  int local = 123;
+  leak = &local;
+}
+int main(void) {
+  void (*pf)(void) = f;   /* call through a function pointer */
+  pf();
+  return *leak;
+}
+""",
+        expect=undefined(UB.ACCESS_DEAD_ALLOCATION),
+    ),
+]

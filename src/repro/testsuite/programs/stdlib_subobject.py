@@ -1,0 +1,106 @@
+"""Suite programs: standard-library capability handling and sub-object
+bounds (S3.8)."""
+
+from repro.testsuite.case import TestCase, exits, traps
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="stdlib-memmove-array-of-pointers",
+        categories=(C.STDLIB,),
+        description="memmove/memcpy of pointer arrays preserves every "
+                    "capability (S3.5)",
+        source="""
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a = 1, b = 2, c = 3;
+  int *src[3] = { &a, &b, &c };
+  int *dst[3];
+  memmove(dst, src, sizeof(src));
+  for (int i = 0; i < 3; i++) assert(cheri_tag_get(dst[i]));
+  assert(*dst[0] + *dst[1] + *dst[2] == 6);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="stdlib-memset-clears-tags",
+        categories=(C.STDLIB, C.UNFORGEABILITY, C.INITIALIZATION),
+        description="memset over pointer storage is a non-capability "
+                    "write: reuse of a zeroed struct must not conjure "
+                    "capabilities (S3.5: memzero over a malloc'd region "
+                    "must be permitted)",
+        source="""
+#include <string.h>
+#include <stdlib.h>
+#include <assert.h>
+struct node { struct node *next; int v; };
+int main(void) {
+  struct node *n = malloc(sizeof(struct node));
+  n->next = n;
+  n->v = 5;
+  memset(n, 0, sizeof(struct node));   /* allowed */
+  assert(n->v == 0);
+  struct node *reloaded = n->next;
+  assert(reloaded == 0);
+  free(n);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="stdlib-realloc-moves-capabilities",
+        categories=(C.STDLIB, C.ALLOCATOR),
+        description="realloc returns a fresh capability for the new "
+                    "region; the old one is dead",
+        source="""
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int *p = malloc(2 * sizeof(int));
+  p[0] = 10; p[1] = 20;
+  int *q = realloc(p, 8 * sizeof(int));
+  assert(cheri_tag_get(q));
+  assert(cheri_length_get(q) >= 8 * sizeof(int));
+  assert(q[0] == 10 && q[1] == 20);   /* contents copied */
+  q[7] = 70;
+  free(q);
+  return 0;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="subobject-container-of",
+        categories=(C.SUBOBJECT,),
+        description="S3.8: default CHERI C does not narrow member "
+                    "capabilities, so offsetof-based container-of works",
+        source="""
+#include <stddef.h>
+#include <stdint.h>
+#include <assert.h>
+struct item { int id; int payload; };
+struct item box = { 7, 42 };
+int main(void) {
+  int *member = &box.payload;
+  /* container_of: step back from the member to the struct. */
+  struct item *it = (struct item *)
+      (void *)((char *)member - offsetof(struct item, payload));
+  assert(it->id == 7);
+  assert(it->payload == 42);
+  return 0;
+}
+""",
+        expect=exits(0),
+        overrides={
+            # With sub-object bounds enforcement the member capability
+            # is narrowed and stepping outside it faults.
+            "clang-morello-O3-subobject-safe": traps(),
+        },
+    ),
+]

@@ -1,0 +1,203 @@
+"""Suite programs: unforgeability and representation-byte access (S3.5)."""
+
+from repro.errors import TrapKind, UB
+from repro.testsuite.case import TestCase, exits, traps, undefined
+from repro.testsuite.categories import Category as C
+
+CASES = [
+    TestCase(
+        name="repr-identity-byte-write",
+        categories=(C.REPRESENTATION_ACCESS, C.UNFORGEABILITY,
+                    C.OPTIMIZATION_EFFECTS),
+        description="the S3.5 example: even an identity byte write over "
+                    "a capability makes later access UB (ghost state); "
+                    "hardware clears the tag",
+        source="""
+int main(void) {
+  int x = 0;
+  int *px = &x;
+  unsigned char *p = (unsigned char *)&px;
+  p[0] = p[0];
+  *px = 1;
+  return x;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+        # The optimiser removes the identity write, so the program
+        # succeeds -- which the ghost-state semantics (UB) licenses.
+        overrides={
+            "clang-morello-O3": exits(1),
+            "clang-riscv-O3": exits(1),
+            "gcc-morello-O3": exits(1),
+        },
+    ),
+    TestCase(
+        name="repr-loop-byte-copy",
+        categories=(C.REPRESENTATION_ACCESS, C.UNFORGEABILITY,
+                    C.OPTIMIZATION_EFFECTS),
+        description="the second S3.5 example: a bytewise copy of a "
+                    "pointer yields a capability unusable for access "
+                    "(tag unspecified); when the loop becomes memcpy the "
+                    "tag survives",
+        source="""
+int main(void) {
+  int x = 0;
+  int *px0 = &x;
+  int *px1;
+  unsigned char *p0 = (unsigned char *)&px0;
+  unsigned char *p1 = (unsigned char *)&px1;
+  for (int i=0; i<sizeof(int*); i++)
+    p1[i] = p0[i];
+  *px1 = 1;
+  return x;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+        # tree-loop-distribute-patterns style: loop -> memcpy preserves
+        # the capability, so the store lands and main returns 1.
+        overrides={
+            "clang-morello-O3": exits(1),
+            "clang-riscv-O3": exits(1),
+            "gcc-morello-O3": exits(1),
+        },
+    ),
+    TestCase(
+        name="repr-memcpy-preserves-tag",
+        categories=(C.REPRESENTATION_ACCESS, C.STDLIB, C.ALIGNMENT),
+        description="memcpy of a whole aligned capability preserves it "
+                    "(S3.5: capability-sized and aligned accesses)",
+        source="""
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 0;
+  int *src = &x;
+  int *dst;
+  memcpy(&dst, &src, sizeof(int*));
+  assert(cheri_tag_get(dst));
+  *dst = 42;
+  return x - 42;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="repr-partial-memcpy",
+        categories=(C.REPRESENTATION_ACCESS, C.STDLIB, C.UNFORGEABILITY),
+        description="memcpy of part of a capability behaves like any "
+                    "representation write: the destination is not a "
+                    "usable capability",
+        source="""
+#include <string.h>
+int main(void) {
+  int x = 0;
+  int *src = &x;
+  int *dst = &x;
+  /* Overwrite only half of dst's representation. */
+  memcpy(&dst, &src, sizeof(int*) / 2);
+  *dst = 1;
+  return 0;
+}
+""",
+        expect=undefined(),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="unforge-crafted-pointer-bytes",
+        categories=(C.UNFORGEABILITY, C.REPRESENTATION_ACCESS,
+                    C.MORELLO_ENCODING),
+        description="writing crafted bytes into pointer storage cannot "
+                    "produce a valid capability: the tag is the "
+                    "out-of-band ground truth",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 7;
+  int *genuine = &x;
+  int *forged;
+  unsigned char *src = (unsigned char *)&genuine;
+  unsigned char *dst = (unsigned char *)&forged;
+  for (int i = 0; i < sizeof(int*); i++) dst[i] = src[i];
+  /* Bytes are identical -- the authority is not. */
+  assert(forged == genuine);
+  return *forged;
+}
+""",
+        expect=undefined(UB.CHERI_UNDEFINED_TAG),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="unforge-int-write-over-cap",
+        categories=(C.UNFORGEABILITY, C.REPRESENTATION_ACCESS,
+                    C.OPTIMIZATION_EFFECTS),
+        description="overwriting half a stored capability with an "
+                    "integer invalidates it even after restoring bytes",
+        source="""
+#include <stdint.h>
+int main(void) {
+  long v = 1;
+  long *p = &v;
+  uint64_t *words = (uint64_t *)&p;
+  uint64_t saved = words[0];
+  words[0] = 0xdeadbeef;     /* clobber the address word */
+  words[0] = saved;          /* restore the exact bytes */
+  return (int)*p;            /* still not a valid capability */
+}
+""",
+        expect=undefined(),
+        hardware=traps(TrapKind.TAG_VIOLATION),
+    ),
+    TestCase(
+        name="repr-read-bytes-harmless",
+        categories=(C.REPRESENTATION_ACCESS, C.MORELLO_ENCODING),
+        description="reading a capability's representation bytes is "
+                    "allowed and does not disturb the stored capability; "
+                    "the low bytes are the address (implementation-"
+                    "defined, Morello layout)",
+        source="""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x = 5;
+  int *p = &x;
+  unsigned char *bytes = (unsigned char *)&p;
+  ptraddr_t addr = 0;
+  for (int i = 0; i < 8; i++)
+    addr |= (ptraddr_t)bytes[i] << (8 * i);
+  assert(addr == cheri_address_get(p));   /* Morello: low 64 = address */
+  assert(cheri_tag_get(p));               /* reads do not detag */
+  return *p - 5;
+}
+""",
+        expect=exits(0),
+    ),
+    TestCase(
+        name="repr-tag-query-after-write",
+        categories=(C.REPRESENTATION_ACCESS, C.INTRINSICS,
+                    C.UNFORGEABILITY, C.OPTIMIZATION_EFFECTS),
+        description="after a representation write, the tag query gives "
+                    "an unspecified value (not UB) per S3.5; "
+                    "equal-exact likewise",
+        source="""
+#include <cheriintrin.h>
+int main(void) {
+  int x = 0;
+  int *px = &x;
+  unsigned char *p = (unsigned char *)&px;
+  p[0] = p[0];
+  /* Unspecified, not UB -- but branching on it is where the oracle
+     stops, so the test just materialises the value. */
+  int t = cheri_tag_get(px) ? 1 : 0;
+  return t;
+}
+""",
+        expect=undefined(UB.READ_UNINITIALISED),
+        hardware=exits(0),
+    ),
+]

@@ -1,0 +1,79 @@
+"""Suite assembly and Table 1 accounting."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.testsuite.case import TestCase
+from repro.testsuite.categories import CATEGORIES, Category, TOTAL_TESTS
+
+
+@lru_cache(maxsize=1)
+def all_cases() -> tuple[TestCase, ...]:
+    """The full 94-test suite, assembled from the program modules."""
+    from repro.testsuite.programs import (
+        alignment_allocator,
+        const_init,
+        equality_relational,
+        functions,
+        intptr,
+        intrinsics_perms,
+        optimization,
+        paper_listings,
+        pointers_arrays,
+        provenance_temporal,
+        stdlib_subobject,
+        unforgeability_repr,
+    )
+
+    modules = (
+        alignment_allocator, pointers_arrays, intptr, equality_relational,
+        functions, intrinsics_perms, unforgeability_repr, const_init,
+        provenance_temporal, optimization, stdlib_subobject, paper_listings,
+    )
+    cases: list[TestCase] = []
+    seen: set[str] = set()
+    for module in modules:
+        for case in module.CASES:
+            if case.name in seen:
+                raise ValueError(f"duplicate test name {case.name!r}")
+            seen.add(case.name)
+            cases.append(case)
+    return tuple(cases)
+
+
+def cases_by_category(category: Category) -> list[TestCase]:
+    return [case for case in all_cases() if category in case.categories]
+
+
+def table1_counts() -> dict[Category, int]:
+    """Per-category test counts of the assembled suite (compare with
+    ``CATEGORIES`` to validate against the paper's Table 1)."""
+    counts = {category: 0 for category in Category}
+    for case in all_cases():
+        for category in set(case.categories):
+            counts[category] += 1
+    return counts
+
+
+def table1_deficits() -> dict[Category, int]:
+    """Paper count minus suite count per category (all zero when the
+    suite matches Table 1 exactly)."""
+    counts = table1_counts()
+    return {category: CATEGORIES[category][0] - counts[category]
+            for category in Category
+            if CATEGORIES[category][0] != counts[category]}
+
+
+def validate_suite() -> None:
+    """Assert the suite matches the paper: 94 tests, Table 1 counts."""
+    cases = all_cases()
+    if len(cases) != TOTAL_TESTS:
+        raise AssertionError(
+            f"suite has {len(cases)} tests; the paper has {TOTAL_TESTS}")
+    deficits = table1_deficits()
+    if deficits:
+        lines = ", ".join(f"{cat.value}: {diff:+d}"
+                          for cat, diff in deficits.items())
+        raise AssertionError(f"Table 1 count mismatches (paper - suite): "
+                             f"{lines}")

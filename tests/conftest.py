@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capability import CHERIOT, MORELLO
+from repro.impls.registry import CERBERUS_MAP
+from repro.memory.allocator import AddressMap
+from repro.memory.model import MemoryModel, Mode
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return CERBERUS_MAP
+
+
+@pytest.fixture
+def model(amap) -> MemoryModel:
+    """A fresh abstract-machine memory model on Morello."""
+    return MemoryModel(MORELLO, Mode.ABSTRACT, amap)
+
+
+@pytest.fixture
+def hw_model(amap) -> MemoryModel:
+    """A fresh hardware-mode memory model on Morello."""
+    return MemoryModel(MORELLO, Mode.HARDWARE, amap)
+
+
+@pytest.fixture
+def cheriot_model() -> MemoryModel:
+    from repro.impls.registry import CHERIOT_MAP
+    return MemoryModel(CHERIOT, Mode.ABSTRACT, CHERIOT_MAP)
+
+
+def run_abstract(source: str):
+    """Run a program on the reference implementation."""
+    from repro.impls import CERBERUS
+    return CERBERUS.run(source)
+
+
+def run_hardware(source: str, opt: int = 0):
+    from repro.impls import by_name
+    name = f"clang-morello-O{opt}"
+    return by_name(name).run(source)

@@ -1,0 +1,92 @@
+"""Address maps, representability padding, and the bump allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capability.cheriot import CHERIOT_COMPRESSION
+from repro.capability.concentrate import CompressedBounds
+from repro.capability.morello import MORELLO_COMPRESSION
+from repro.errors import MemoryModelError
+from repro.memory.allocation import AllocKind
+from repro.memory.allocator import (
+    AddressMap, BumpAllocator, representable_region,
+)
+
+MAP = AddressMap("t", stack_base=0x10000, heap_base=0x40000000,
+                 globals_base=0x20000, code_base=0x1000)
+
+
+class TestRepresentableRegion:
+    @pytest.mark.parametrize("params", [MORELLO_COMPRESSION,
+                                        CHERIOT_COMPRESSION],
+                             ids=["morello", "cheriot"])
+    @given(size=st.integers(0, 1 << 30), align=st.sampled_from(
+        [1, 2, 4, 8, 16]))
+    @settings(max_examples=200, deadline=None)
+    def test_result_is_exactly_encodable(self, params, size, align):
+        align2, size2 = representable_region(params, size, align)
+        assert size2 >= max(size, 1)
+        assert align2 >= align
+        # Any base at that alignment encodes exactly.
+        base = align2 * 37
+        bounds, exact = CompressedBounds.encode(params, base, size2)
+        assert exact
+        d = bounds.decode(base)
+        assert (d.base, d.top) == (base, base + size2)
+
+    def test_small_sizes_unpadded(self):
+        align, size = representable_region(MORELLO_COMPRESSION, 100, 4)
+        assert (align, size) == (4, 100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MemoryModelError):
+            representable_region(MORELLO_COMPRESSION, -1, 1)
+
+
+class TestBumpAllocator:
+    def make(self):
+        return BumpAllocator(MAP, MORELLO_COMPRESSION)
+
+    def test_stack_grows_down(self):
+        alloc = self.make()
+        a, _ = alloc.allocate(AllocKind.STACK, 16, 16)
+        b, _ = alloc.allocate(AllocKind.STACK, 16, 16)
+        assert b < a < MAP.stack_base
+
+    def test_heap_grows_up(self):
+        alloc = self.make()
+        a, asz = alloc.allocate(AllocKind.HEAP, 32, 16)
+        b, _ = alloc.allocate(AllocKind.HEAP, 32, 16)
+        assert a >= MAP.heap_base
+        assert b >= a + asz
+
+    def test_strings_share_globals_region(self):
+        alloc = self.make()
+        g, gsz = alloc.allocate(AllocKind.GLOBAL, 8, 8)
+        s, _ = alloc.allocate(AllocKind.STRING, 8, 1)
+        assert s >= g + gsz       # no overlap
+
+    def test_disjointness_across_many(self):
+        alloc = self.make()
+        spans = []
+        for i in range(50):
+            base, size = alloc.allocate(AllocKind.HEAP, 10 + i * 7, 8)
+            spans.append((base, base + size))
+        spans.sort()
+        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_rewind_reuses_stack(self):
+        alloc = self.make()
+        mark = alloc.cursor(AllocKind.STACK)
+        a, _ = alloc.allocate(AllocKind.STACK, 16, 16)
+        alloc.rewind(AllocKind.STACK, mark)
+        b, _ = alloc.allocate(AllocKind.STACK, 16, 16)
+        assert a == b
+
+    def test_stack_exhaustion(self):
+        small = AddressMap("tiny", stack_base=64, heap_base=0x1000,
+                           globals_base=0x2000, code_base=0x3000)
+        alloc = BumpAllocator(small, MORELLO_COMPRESSION)
+        with pytest.raises(MemoryModelError):
+            alloc.allocate(AllocKind.STACK, 1 << 20, 16)

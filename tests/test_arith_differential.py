@@ -1,0 +1,138 @@
+"""Differential testing of integer arithmetic: random C expressions
+evaluated by the interpreter against an independent Python model of the
+ISO C semantics (promotions, usual conversions, wrapping)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import OutcomeKind
+from repro.impls import CERBERUS
+
+U32 = 1 << 32
+U64 = 1 << 64
+
+
+class CExpr:
+    """A tiny independent model of C unsigned/signed arithmetic."""
+
+    def __init__(self, text: str, value: int, unsigned64: bool) -> None:
+        self.text = text
+        self.value = value           # mathematical value after wrapping
+        self.unsigned64 = unsigned64
+
+
+def _wrap_u64(v: int) -> int:
+    return v % U64
+
+
+@st.composite
+def u64_exprs(draw, depth: int = 0):
+    """Random expressions over unsigned long (no UB possible)."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(0, U64 - 1))
+        return CExpr(f"{value}ul", value, True)
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", ">>", "<<"]))
+    lhs = draw(u64_exprs(depth=depth + 1))
+    if op in (">>", "<<"):
+        amount = draw(st.integers(0, 63))
+        value = (_wrap_u64(lhs.value << amount) if op == "<<"
+                 else lhs.value >> amount)
+        return CExpr(f"({lhs.text} {op} {amount})", value, True)
+    rhs = draw(u64_exprs(depth=depth + 1))
+    table = {"+": lhs.value + rhs.value, "-": lhs.value - rhs.value,
+             "*": lhs.value * rhs.value, "&": lhs.value & rhs.value,
+             "|": lhs.value | rhs.value, "^": lhs.value ^ rhs.value}
+    return CExpr(f"({lhs.text} {op} {rhs.text})",
+                 _wrap_u64(table[op]), True)
+
+
+@given(expr=u64_exprs())
+@settings(max_examples=150, deadline=None)
+def test_unsigned_arithmetic_matches_c_model(expr):
+    src = f"""
+int main(void) {{
+  unsigned long v = {expr.text};
+  return v == {expr.value}ul ? 0 : 1;
+}}
+"""
+    out = CERBERUS.run(src)
+    assert out.kind is OutcomeKind.EXIT, (out.describe(), out.detail,
+                                          expr.text)
+    assert out.exit_status == 0, (expr.text, expr.value)
+
+
+@given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_signed_addition_matches_or_flags_overflow(a, b):
+    total = a + b
+    in_range = -(2**31) <= total <= 2**31 - 1
+    src = f"""
+int main(void) {{
+  int a = {a};
+  int b = {b};
+  int c = a + b;
+  return c == {total if in_range else 0} ? 0 : 1;
+}}
+"""
+    out = CERBERUS.run(src)
+    if in_range:
+        assert out.kind is OutcomeKind.EXIT and out.exit_status == 0
+    else:
+        assert out.kind is OutcomeKind.UNDEFINED
+
+
+@given(a=st.integers(0, 2**32 - 1), b=st.integers(1, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_unsigned_divmod_matches(a, b):
+    src = f"""
+int main(void) {{
+  unsigned a = {a}u;
+  unsigned b = {b}u;
+  if (a / b != {a // b}u) return 1;
+  if (a % b != {a % b}u) return 2;
+  return 0;
+}}
+"""
+    out = CERBERUS.run(src)
+    assert out.ok, (a, b, out.describe())
+
+
+@given(a=st.integers(-(2**31) + 1, 2**31 - 1),
+       b=st.integers(-(2**31) + 1, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_signed_divmod_truncates_toward_zero(a, b):
+    assume(b != 0)
+    q = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        q = -q
+    r = a - q * b
+    src = f"""
+int main(void) {{
+  int a = {a};
+  int b = {b};
+  if (a / b != {q}) return 1;
+  if (a % b != {r}) return 2;
+  return 0;
+}}
+"""
+    out = CERBERUS.run(src)
+    assert out.ok, (a, b, q, r, out.describe())
+
+
+@given(v=st.integers(0, 2**64 - 1))
+@settings(max_examples=100, deadline=None)
+def test_narrowing_conversions_match(v):
+    src = f"""
+#include <stdint.h>
+int main(void) {{
+  unsigned long v = {v}ul;
+  if ((uint32_t)v != {v % U32}u) return 1;
+  if ((uint8_t)v != {v % 256}) return 2;
+  if ((int)(uint32_t)(v & 0x7fffffff) != {v & 0x7fffffff}) return 3;
+  return 0;
+}}
+"""
+    out = CERBERUS.run(src)
+    assert out.ok, (v, out.describe())

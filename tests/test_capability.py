@@ -1,0 +1,260 @@
+"""Abstract capabilities: construction, movement, monotonicity,
+sealing, and representation round trips (S2.1, S4.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capability import CHERIOT, MORELLO
+from repro.capability.ghost import GhostState
+from repro.capability.otype import OType
+from repro.capability.permissions import Permission, PermissionSet
+
+ARCHS = [MORELLO, CHERIOT]
+ARCH_IDS = [a.name for a in ARCHS]
+
+
+class TestArchitecture:
+    def test_morello_is_128_bit(self):
+        assert MORELLO.capability_size == 16
+        assert MORELLO.address_width == 64
+        assert MORELLO.ptraddr_size == 8
+        assert len(MORELLO.perm_order) == 18
+        assert MORELLO.otype_width == 15
+
+    def test_cheriot_is_64_bit(self):
+        assert CHERIOT.capability_size == 8
+        assert CHERIOT.address_width == 32
+        assert CHERIOT.ptraddr_size == 4
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    def test_root_capability(self, arch):
+        root = arch.root_capability()
+        assert root.tag
+        assert root.base == 0
+        assert root.top == 1 << arch.address_width
+        assert not root.is_sealed
+        assert root.perms == arch.root_permissions()
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    def test_null_capability(self, arch):
+        null = arch.null_capability()
+        assert not null.tag
+        assert null.is_null()
+        assert null.is_null_derived
+        assert len(null.perms) == 0
+
+    def test_null_with_address_is_derived_not_null(self):
+        c = MORELLO.null_capability(0x1234)
+        assert c.is_null_derived
+        assert not c.is_null()
+        assert c.address == 0x1234
+
+    def test_portable_representable_envelope(self):
+        # [45 S4.3.5]: >= 1KiB below and >= 2KiB above for small objects.
+        lo, hi = MORELLO.portable_representable_limits(0x10000, 64)
+        assert lo == 0x10000 - 1024
+        assert hi == 0x10000 + 64 + 2048
+        # And fractions of the object size for large ones.
+        size = 1 << 20
+        lo, hi = MORELLO.portable_representable_limits(1 << 30, size)
+        assert lo == (1 << 30) - size // 8
+        assert hi == (1 << 30) + size + size // 4
+
+
+class TestAddressMovement:
+    def setup_method(self):
+        root = MORELLO.root_capability()
+        self.cap, exact = root.set_bounds(0x1000, 64)
+        assert exact and self.cap.tag
+
+    def test_in_bounds_move_keeps_tag(self):
+        moved = self.cap.with_address(0x1020)
+        assert moved.tag
+        assert moved.address == 0x1020
+        assert (moved.base, moved.top) == (0x1000, 0x1040)
+
+    def test_same_address_is_noop(self):
+        assert self.cap.with_address(0x1000) is self.cap
+        assert self.cap.with_address_ghost(0x1000) is self.cap
+
+    def test_far_move_clears_tag_hardware(self):
+        far = self.cap.with_address(0x1000 + (1 << 30))
+        assert not far.tag
+        assert far.address == 0x1000 + (1 << 30)
+
+    def test_far_move_sets_ghost_abstract(self):
+        far = self.cap.with_address_ghost(0x1000 + (1 << 30))
+        assert far.tag                      # tag itself is kept...
+        assert far.ghost.tag_unspecified    # ...but is now unspecified
+        assert far.ghost.bounds_unspecified
+
+    def test_ghost_is_sticky_coming_back(self):
+        far = self.cap.with_address_ghost(0x1000 + (1 << 30))
+        back = far.with_address_ghost(0x1004)
+        assert back.ghost.tag_unspecified
+
+    def test_moving_sealed_detags(self):
+        sealed = self.cap.sealed_with(OType.sentry())
+        moved = sealed.with_address(0x1010)
+        assert not moved.tag
+
+
+class TestSetBounds:
+    def setup_method(self):
+        self.root = MORELLO.root_capability()
+
+    def test_narrowing_keeps_tag(self):
+        cap, exact = self.root.set_bounds(0x2000, 100)
+        assert cap.tag and exact
+        assert (cap.base, cap.top) == (0x2000, 0x2064)
+
+    def test_widening_clears_tag(self):
+        narrow, _ = self.root.set_bounds(0x2000, 16)
+        wide, _ = narrow.set_bounds(0x2000, 64)
+        assert not wide.tag
+
+    def test_widening_below_clears_tag(self):
+        narrow, _ = self.root.set_bounds(0x2000, 16)
+        below, _ = narrow.set_bounds(0x1ff0, 16)
+        assert not below.tag
+
+    def test_inexact_large_request(self):
+        cap, exact = self.root.set_bounds(0x3, (1 << 20) + 1)
+        assert not exact
+        assert cap.base <= 0x3
+        assert cap.top >= 0x3 + (1 << 20) + 1
+
+    def test_sealed_set_bounds_detags(self):
+        sealed = self.root.sealed_with(OType.sentry())
+        cap, _ = sealed.set_bounds(0x1000, 8)
+        assert not cap.tag
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self):
+        cap = MORELLO.root_capability()
+        sealed = cap.sealed_with(OType.user(3))
+        assert sealed.is_sealed
+        assert sealed.otype.value == OType.FIRST_USER + 3
+        unsealed = sealed.unsealed()
+        assert not unsealed.is_sealed
+
+    def test_double_seal_detags(self):
+        cap = MORELLO.root_capability().sealed_with(OType.sentry())
+        again = cap.sealed_with(OType.user(1))
+        assert not again.tag
+
+
+class TestEncodingRoundTrip:
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    def test_encode_length(self, arch):
+        data = arch.encode(arch.root_capability())
+        assert len(data) == arch.capability_size
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    def test_decode_rejects_wrong_length(self, arch):
+        with pytest.raises(ValueError):
+            arch.decode(b"\x00", tag=False)
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_random_caps(self, arch, data):
+        max_addr = (1 << arch.address_width) - 1
+        length = data.draw(st.integers(0, max_addr // 2))
+        base = data.draw(st.integers(0, max_addr - length))
+        perms = PermissionSet.from_iterable(data.draw(
+            st.frozensets(st.sampled_from(list(arch.perm_order)))))
+        otype = OType(data.draw(st.integers(
+            0, (1 << arch.otype_width) - 1)))
+        tag = data.draw(st.booleans())
+
+        cap, _ = arch.root_capability().set_bounds(base, length)
+        cap = cap.with_perms_masked(perms)
+        from dataclasses import replace
+        cap = replace(cap, otype=otype, tag=tag)
+        back = arch.decode(arch.encode(cap), tag=cap.tag)
+        assert back.equal_exact(cap)
+        assert back.address == cap.address
+        assert back.perms == cap.perms.intersect(
+            PermissionSet.from_iterable(arch.perm_order))
+        assert back.otype == cap.otype
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=ARCH_IDS)
+    @given(raw=st.binary(min_size=8, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_every_bit_pattern_decodes(self, arch, raw):
+        """No trap representations in the byte layout: any bytes decode."""
+        data = (raw * 2)[: arch.capability_size]
+        cap = arch.decode(data, tag=False)
+        assert 0 <= cap.address < (1 << arch.address_width)
+        assert arch.encode(cap) == data
+
+
+class TestEqualExact:
+    def test_differs_on_tag(self):
+        a = MORELLO.root_capability()
+        assert not a.equal_exact(a.with_tag(False))
+
+    def test_differs_on_perms(self):
+        a = MORELLO.root_capability()
+        b = a.without_perms(Permission.LOAD)
+        assert not a.equal_exact(b)
+
+    def test_same_capability(self):
+        a, _ = MORELLO.root_capability().set_bounds(0x4000, 32)
+        b, _ = MORELLO.root_capability().set_bounds(0x4000, 32)
+        assert a.equal_exact(b)
+
+    def test_ghost_does_not_affect_representation(self):
+        a = MORELLO.root_capability()
+        b = a.with_ghost(GhostState(True, True))
+        # equal_exact at the architectural layer ignores ghost (the
+        # unspecified-result rule lives in the intrinsics layer).
+        assert a.equal_exact(b)
+
+
+class TestGhostLaws:
+    """Ghost-state laws over random address-walk sequences."""
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_ghost_only_grows_and_address_is_exact(self, data):
+        cap, _ = MORELLO.root_capability().set_bounds(0x10000, 256)
+        had_ghost = False
+        for _ in range(data.draw(st.integers(1, 12))):
+            target = data.draw(st.integers(0, (1 << 48)))
+            cap = cap.with_address_ghost(target)
+            assert cap.address == target          # S3.3: value exact
+            if had_ghost:
+                assert cap.ghost.tag_unspecified  # stickiness
+            had_ghost = had_ghost or cap.ghost.tag_unspecified
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_hardware_tag_never_returns(self, data):
+        cap, _ = MORELLO.root_capability().set_bounds(0x10000, 256)
+        lost = False
+        for _ in range(data.draw(st.integers(1, 12))):
+            target = data.draw(st.integers(0, (1 << 48)))
+            cap = cap.with_address(target)
+            if lost:
+                assert not cap.tag                # monotone loss
+            lost = lost or not cap.tag
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_ghost_and_hardware_agree_on_when(self, data):
+        """The abstract machine marks ghost exactly when hardware would
+        clear the tag (first divergence point)."""
+        cap, _ = MORELLO.root_capability().set_bounds(0x10000, 256)
+        hw = cap
+        for _ in range(data.draw(st.integers(1, 8))):
+            target = data.draw(st.integers(0, (1 << 44)))
+            prev_ghost = cap.ghost.tag_unspecified
+            cap = cap.with_address_ghost(target)
+            hw_ok_before = hw.tag
+            hw = hw.with_address(target)
+            if not prev_ghost and hw_ok_before:
+                # First-divergence step: ghost fires iff hardware detags.
+                assert cap.ghost.tag_unspecified == (not hw.tag)

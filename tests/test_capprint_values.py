@@ -1,0 +1,134 @@
+"""The Appendix-A capability printer and the value-layer invariants."""
+
+import pytest
+
+from repro.capability import MORELLO
+from repro.capability.ghost import GhostState
+from repro.capability.otype import OType
+from repro.ctypes import ArrayT, INT, StructT, UnionT
+from repro.memory.provenance import Provenance, ProvKind
+from repro.memory.values import IntegerValue, MVArray, MVStruct, MVUnion
+from repro.reporting.capprint import format_capability
+
+
+@pytest.fixture
+def cap():
+    cap, _ = MORELLO.root_capability().set_bounds(0xffffe6dc, 8)
+    return cap
+
+
+class TestCapPrint:
+    def test_cerberus_style(self, cap):
+        text = format_capability(cap, Provenance.alloc(86))
+        assert text.startswith("(@86, 0xffffe6dc [rwRW")
+        assert text.endswith(",0xffffe6dc-0xffffe6e4])")
+        assert "(notag)" not in text
+
+    def test_hardware_style(self, cap):
+        text = format_capability(cap, hardware=True)
+        assert text.startswith("0xffffe6dc [")
+        assert "@" not in text
+
+    def test_invalid_marker(self, cap):
+        text = format_capability(cap.with_tag(False), hardware=True)
+        assert text.endswith("(invalid)")
+
+    def test_notag_marker_abstract(self, cap):
+        text = format_capability(cap.with_tag(False), Provenance.empty())
+        assert "(notag)" in text and "@empty" in text
+
+    def test_ghost_bounds_question_marks(self, cap):
+        g = cap.with_ghost(GhostState(True, True))
+        text = format_capability(g, Provenance.empty())
+        assert "[?-?]" in text and "(notag)" in text
+
+    def test_sealed_marker(self, cap):
+        text = format_capability(cap.sealed_with(OType.sentry()),
+                                 hardware=True)
+        assert "(sealed)" in text
+
+    def test_provenance_descriptions(self):
+        assert Provenance.empty().describe() == "@empty"
+        assert Provenance.alloc(5).describe() == "@5"
+        assert Provenance.symbolic(2).describe() == "@iota2"
+
+
+class TestIntegerValue:
+    def test_exactly_one_arm(self):
+        with pytest.raises(ValueError):
+            IntegerValue(num=1, cap=MORELLO.root_capability())
+        with pytest.raises(ValueError):
+            IntegerValue()
+
+    def test_plain_value(self):
+        assert IntegerValue.of_int(-7).value() == -7
+
+    def test_cap_value_signed_interpretation(self):
+        high = MORELLO.root_capability().with_address(0xFFFFFFFFFFFFFFF0)
+        signed = IntegerValue.of_cap(high, True)
+        unsigned = IntegerValue.of_cap(high, False)
+        assert signed.value() == -16
+        assert unsigned.value() == 0xFFFFFFFFFFFFFFF0
+
+    def test_with_value_moves_cap_via_ghost(self):
+        cap, _ = MORELLO.root_capability().set_bounds(0x1000, 8)
+        iv = IntegerValue.of_cap(cap, False)
+        far = iv.with_value(0x1000 + (1 << 30))
+        assert far.cap.ghost.bounds_unspecified
+        assert far.value() == 0x1000 + (1 << 30)
+
+    def test_with_value_hardware_detags(self):
+        cap, _ = MORELLO.root_capability().set_bounds(0x1000, 8)
+        iv = IntegerValue.of_cap(cap, False)
+        far = iv.with_value_hardware(0x1000 + (1 << 30))
+        assert not far.cap.tag
+
+    def test_plain_with_value(self):
+        assert IntegerValue.of_int(1).with_value(9).value() == 9
+
+
+class TestAggregateValues:
+    def test_mvarray_requires_array_type(self):
+        with pytest.raises(TypeError):
+            MVArray(INT, ())
+
+    def test_mvstruct_requires_struct(self):
+        with pytest.raises(TypeError):
+            MVStruct(INT, ())
+
+    def test_mvunion_requires_union(self):
+        s = StructT(tag="s", fields=())
+        with pytest.raises(TypeError):
+            MVUnion(s, active="", value=None)
+
+    def test_struct_member_lookup(self):
+        from repro.ctypes import Field
+        from repro.memory.values import MVInteger
+        s = StructT(tag="s", fields=(Field("x", INT),))
+        v = MVStruct(s, (("x", MVInteger(INT, IntegerValue.of_int(1))),))
+        assert v.member("x").ival.value() == 1
+        with pytest.raises(KeyError):
+            v.member("nope")
+
+
+class TestReportTables:
+    def test_render_table1_matches_paper(self):
+        from repro.reporting.tables import render_table1
+        text = render_table1()
+        assert "94 distinct tests" in text
+        assert "222 category memberships" in text
+        assert "!! paper says" not in text
+
+    def test_render_failures_empty_when_green(self):
+        from repro.impls import CERBERUS
+        from repro.reporting.tables import render_failures
+        from repro.testsuite.compare import run_suite
+        assert render_failures([run_suite(CERBERUS)]) == ""
+
+    def test_render_failures_reports_details(self):
+        from repro.impls.faults import FAULTS
+        from repro.reporting.tables import render_failures
+        from repro.testsuite.compare import run_suite
+        text = render_failures([run_suite(FAULTS["realloc-drops-tag"])])
+        assert "stdlib-realloc-moves-capabilities" in text
+        assert "expected" in text

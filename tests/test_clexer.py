@@ -1,0 +1,152 @@
+"""The lexer and its mini-preprocessor."""
+
+import pytest
+
+from repro.core.clexer import Lexer, tokenize
+from repro.errors import CSyntaxError
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("int foo _bar2")
+        assert toks == [("kw", "int"), ("id", "foo"), ("id", "_bar2")]
+
+    def test_punctuators_maximal_munch(self):
+        toks = [t.text for t in tokenize("a->b <<= c >> 1") if t.kind == "punct"]
+        assert toks == ["->", "<<=", ">>"]
+
+    def test_ellipsis(self):
+        assert ("punct", "...") in kinds("f(int, ...)")
+
+    def test_comments_skipped(self):
+        toks = kinds("a /* x */ b // y\n c")
+        assert [t for _, t in toks] == ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CSyntaxError):
+            tokenize("/* never ends")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+        assert toks[2].col == 3
+
+
+class TestNumbers:
+    def test_decimal(self):
+        t = tokenize("42")[0]
+        assert t.kind == "num" and t.value == 42 and t.base == 10
+
+    def test_hex(self):
+        t = tokenize("0xfffe")[0]
+        assert t.value == 0xFFFE and t.base == 16
+
+    def test_octal(self):
+        t = tokenize("0755")[0]
+        assert t.value == 0o755 and t.base == 8
+
+    def test_suffixes(self):
+        t = tokenize("100001ul")[0]
+        assert t.suffix == "ul"
+        t = tokenize("5LL")[0]
+        assert t.suffix == "ll"
+
+    def test_float_rejected(self):
+        with pytest.raises(CSyntaxError):
+            tokenize("1.5")
+
+
+class TestCharsAndStrings:
+    def test_char_constant(self):
+        assert tokenize("'h'")[0].value == ord("h")
+
+    def test_escapes(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\x41'")[0].value == 0x41
+
+    def test_string(self):
+        t = tokenize('"hi\\n"')[0]
+        assert t.kind == "str" and t.value == "hi\n"
+
+    def test_adjacent_strings_merge(self):
+        t = tokenize('"a" "b"')[0]
+        assert t.value == "ab"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CSyntaxError):
+            tokenize('"oops')
+
+
+class TestPreprocessor:
+    def test_include_skipped(self):
+        assert kinds("#include <stdint.h>\nint") == [("kw", "int")]
+
+    def test_define_object_macro(self):
+        toks = kinds("#define N 42\nint x = N;")
+        assert ("num", "42") in toks
+
+    def test_macro_multi_token(self):
+        toks = kinds("#define EXPR (1 + 2)\nEXPR")
+        assert [t for _, t in toks] == ["(", "1", "+", "2", ")"]
+
+    def test_nested_macros(self):
+        toks = kinds("#define A B\n#define B 7\nA")
+        assert toks == [("num", "7")]
+
+    def test_self_referential_macro_terminates(self):
+        toks = kinds("#define X X\nX")
+        assert toks == [("id", "X")]
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(CSyntaxError):
+            tokenize("#define F(x) x\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(CSyntaxError):
+            tokenize("#if 1\n#endif\n")
+
+    def test_pragma_skipped(self):
+        assert kinds("#pragma once\nint") == [("kw", "int")]
+
+
+class TestLexerRobustness:
+    """Random byte soup must produce tokens or CSyntaxError, not crash."""
+
+    def test_random_printable_soup(self):
+        import random
+        import string
+        rng = random.Random(17)
+        alphabet = string.ascii_letters + string.digits + \
+            "+-*/%&|^~!<>=?:;,.()[]{}#\"' \n\t_"
+        for _ in range(300):
+            soup = "".join(rng.choice(alphabet)
+                           for _ in range(rng.randint(1, 120)))
+            try:
+                tokenize(soup)
+            except CSyntaxError:
+                pass
+
+    def test_parser_survives_token_soup(self):
+        import random
+        import string
+        from repro.capability import MORELLO
+        from repro.core.cparser import parse_program
+        from repro.ctypes import TargetLayout
+        from repro.errors import CTypeError
+        layout = TargetLayout(MORELLO)
+        rng = random.Random(23)
+        words = ["int", "char", "*", "x", "y", "(", ")", "{", "}", ";",
+                 "=", "1", "return", "if", "for", "[", "]", "+", ",",
+                 "struct", "void", "static", "&", "sizeof", "while"]
+        for _ in range(300):
+            soup = " ".join(rng.choice(words)
+                            for _ in range(rng.randint(1, 60)))
+            try:
+                parse_program(soup, layout)
+            except (CSyntaxError, CTypeError):
+                pass

@@ -1,0 +1,75 @@
+"""The cheri-run command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def prog(tmp_path):
+    path = tmp_path / "t.c"
+    path.write_text("""
+#include <stdio.h>
+int main(void) { printf("ok\\n"); return 0; }
+""")
+    return str(path)
+
+
+@pytest.fixture
+def ub_prog(tmp_path):
+    path = tmp_path / "ub.c"
+    path.write_text("""
+int main(void) { int a[1]; return a[1]; }
+""")
+    return str(path)
+
+
+def test_default_runs_cerberus(prog, capsys):
+    status = main([prog])
+    out = capsys.readouterr()
+    assert status == 0
+    assert "ok" in out.out
+    assert "[cerberus] exit 0" in out.err
+
+
+def test_named_implementation(prog, capsys):
+    status = main([prog, "--impl", "gcc-morello-O0"])
+    assert status == 0
+    assert "[gcc-morello-O0]" in capsys.readouterr().err
+
+
+def test_ub_gives_nonzero_status(ub_prog, capsys):
+    status = main([ub_prog])
+    assert status == 1
+    assert "UB" in capsys.readouterr().err
+
+
+def test_all_compares(ub_prog, capsys):
+    status = main([ub_prog, "--all"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "== cerberus:" in out
+    assert "== gcc-morello-O3:" in out
+
+
+def test_unknown_impl(prog):
+    with pytest.raises(KeyError):
+        main([prog, "--impl", "icc"])
+
+
+def test_report_table1(capsys):
+    assert main(["--report", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "94 distinct tests" in out
+    assert "!! paper says" not in out
+
+
+def test_list_implementations(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "cerberus" in out and "gcc-morello-O3" in out
+
+
+def test_file_required_without_report(capsys):
+    with pytest.raises(SystemExit):
+        main([])

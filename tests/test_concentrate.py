@@ -1,0 +1,254 @@
+"""CHERI Concentrate compression: unit + property tests.
+
+These are the load-bearing invariants of the whole semantics: if
+encode/decode/representability are wrong, every bounds check is wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.capability.cheriot import CHERIOT_COMPRESSION
+from repro.capability.concentrate import CompressedBounds, CompressionParams
+from repro.capability.morello import MORELLO_COMPRESSION
+
+PARAMS = [MORELLO_COMPRESSION, CHERIOT_COMPRESSION]
+
+
+def ids(params_list):
+    return [p.name for p in params_list]
+
+
+# ---------------------------------------------------------------------------
+# Unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestParams:
+    def test_morello_widths(self):
+        p = MORELLO_COMPRESSION
+        assert p.address_width == 64
+        assert p.mantissa_width == 16
+        assert p.top_width == 14
+        assert p.exponent_width == 6
+        assert p.reset_exponent == 50
+
+    def test_cheriot_byte_granularity_to_511(self):
+        assert CHERIOT_COMPRESSION.max_exact_length == 511
+
+    def test_rejects_narrow_mantissa(self):
+        with pytest.raises(ValueError):
+            CompressionParams("bad", 64, 4)
+
+    def test_rejects_mantissa_wider_than_address(self):
+        with pytest.raises(ValueError):
+            CompressionParams("bad", 8, 16)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+    def test_zero_length(self, params):
+        bounds, exact = CompressedBounds.encode(params, 0x100, 0)
+        assert exact
+        d = bounds.decode(0x100)
+        assert d.base == 0x100
+        assert d.top == 0x100
+
+    @pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+    def test_small_exact(self, params):
+        for length in (1, 2, 3, 8, 100, params.max_exact_length):
+            bounds, exact = CompressedBounds.encode(params, 0x1234, length)
+            assert exact, length
+            d = bounds.decode(0x1234)
+            assert (d.base, d.top) == (0x1234, 0x1234 + length)
+
+    @pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+    def test_maximal_capability(self, params):
+        bounds = CompressedBounds.maximal(params)
+        d = bounds.decode(0)
+        assert d.base == 0
+        assert d.top == 1 << params.address_width
+
+    def test_large_unaligned_rounds_outward(self):
+        p = MORELLO_COMPRESSION
+        base, length = 0x100001, 1 << 20
+        bounds, exact = CompressedBounds.encode(p, base, length)
+        assert not exact
+        d = bounds.decode(base)
+        assert d.base <= base
+        assert d.top >= base + length
+
+    def test_field_range_validation(self):
+        p = MORELLO_COMPRESSION
+        with pytest.raises(ValueError):
+            CompressedBounds(p, 1 << p.mantissa_width, 0, False)
+        with pytest.raises(ValueError):
+            CompressedBounds(p, 0, 1 << p.top_width, False)
+
+    def test_encode_rejects_bad_regions(self):
+        p = MORELLO_COMPRESSION
+        with pytest.raises(ValueError):
+            CompressedBounds.encode(p, 0, -1)
+        with pytest.raises(ValueError):
+            CompressedBounds.encode(p, (1 << 64) - 4, 8)
+
+
+class TestRepresentability:
+    def test_window_contains_bounds_for_small_object(self):
+        p = MORELLO_COMPRESSION
+        bounds, _ = CompressedBounds.encode(p, 0x1000, 64)
+        for addr in (0x1000, 0x1000 + 63, 0x1000 + 64):
+            assert bounds.is_representable(0x1000, addr)
+
+    def test_one_past_always_representable(self):
+        p = MORELLO_COMPRESSION
+        for base, length in [(0x1000, 4), (0xffffe6dc, 8), (0x4000, 16000)]:
+            bounds, _ = CompressedBounds.encode(p, base, length)
+            assert bounds.is_representable(base, base + length)
+
+    def test_far_address_not_representable(self):
+        p = MORELLO_COMPRESSION
+        bounds, _ = CompressedBounds.encode(p, 0x1000, 8)
+        assert not bounds.is_representable(0x1000, 0x1000 + 400004)
+
+    def test_whole_space_window_for_maximal(self):
+        p = MORELLO_COMPRESSION
+        bounds = CompressedBounds.maximal(p)
+        lo, hi = bounds.representable_limits(0)
+        assert (lo, hi) == (0, 1 << 64)
+
+    def test_out_of_address_space_not_representable(self):
+        p = MORELLO_COMPRESSION
+        bounds, _ = CompressedBounds.encode(p, 0x1000, 8)
+        assert not bounds.is_representable(0x1000, -1)
+        assert not bounds.is_representable(0x1000, 1 << 64)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+def regions(params: CompressionParams):
+    """Strategy generating (base, length) with base+length in range."""
+    max_addr = (1 << params.address_width) - 1
+
+    @st.composite
+    def gen(draw):
+        length = draw(st.one_of(
+            st.integers(0, params.max_exact_length),
+            st.integers(0, 1 << (params.address_width // 2)),
+            st.integers(0, max_addr),
+        ))
+        base = draw(st.integers(0, max_addr - length))
+        return base, length
+
+    return gen()
+
+
+@pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+@given(data=st.data())
+@settings(max_examples=300, deadline=None)
+def test_encode_covers_request(params, data):
+    """Encoded bounds always cover the requested region, and exactness
+    is reported honestly."""
+    base, length = data.draw(regions(params))
+    bounds, exact = CompressedBounds.encode(params, base, length)
+    d = bounds.decode(base)
+    assert d.base <= base
+    assert d.top >= base + length
+    if exact:
+        assert (d.base, d.top) == (base, base + length)
+
+
+@pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+@given(data=st.data())
+@settings(max_examples=300, deadline=None)
+def test_small_regions_always_exact(params, data):
+    length = data.draw(st.integers(0, params.max_exact_length))
+    base = data.draw(st.integers(
+        0, (1 << params.address_width) - 1 - length))
+    _bounds, exact = CompressedBounds.encode(params, base, length)
+    assert exact
+
+
+@pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_representable_window_is_exact(params, data):
+    """The analytic representability window agrees with ground truth:
+    an address is in the window iff decoding at it reproduces the same
+    bounds."""
+    base, length = data.draw(regions(params))
+    bounds, _ = CompressedBounds.encode(params, base, length)
+    original = bounds.decode(base)
+    space = 1 << params.address_width
+    lo, hi = bounds.representable_limits(base)
+    assert bounds.is_representable(base, base)
+
+    max_addr = space - 1
+    # Probe strictly inside, at the edges, and outside the window
+    # (all interpreted modulo the address space, as decode is modular).
+    probes = {lo, (hi - 1) % space, base, hi % space,
+              (lo - 1) % space, data.draw(st.integers(0, max_addr))}
+    for addr in probes:
+        decoded = bounds.decode(addr)
+        same = (decoded.base == original.base
+                and decoded.top == original.top)
+        in_window = ((addr - lo) % space) < (hi - lo)
+        assert same == in_window, (
+            f"addr={addr:#x} window=[{lo:#x},{hi:#x}) same={same}")
+
+
+@pytest.mark.parametrize("params", PARAMS, ids=ids(PARAMS))
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_encoding_roundtrips_through_fields(params, data):
+    """Field values always re-validate (no out-of-range stored fields)."""
+    base, length = data.draw(regions(params))
+    bounds, _ = CompressedBounds.encode(params, base, length)
+    clone = CompressedBounds(params, bounds.b_field, bounds.t_field,
+                             bounds.internal_exponent)
+    assert clone.decode(base) == bounds.decode(base)
+
+
+@given(st.integers(0, (1 << 64) - 1), st.integers(0, 1 << 40))
+@settings(max_examples=200, deadline=None)
+def test_rounded_length_is_stable(base, length):
+    """Encoding the decoded (rounded) region is exact: rounding is
+    idempotent."""
+    assume(base + length <= 1 << 64)
+    p = MORELLO_COMPRESSION
+    bounds, _ = CompressedBounds.encode(p, base, length)
+    d = bounds.decode(base)
+    assume(d.top <= 1 << 64 and d.base >= 0)
+    bounds2, exact2 = CompressedBounds.encode(p, d.base, d.length)
+    assert exact2
+    d2 = bounds2.decode(d.base)
+    assert (d2.base, d2.top) == (d.base, d.top)
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_portable_envelope_within_architectural_window(data):
+    """[45 S4.3.5]'s portable guarantee must be honoured by the Morello
+    format: every address in the conservative envelope of a properly
+    padded allocation is architecturally representable."""
+    from repro.capability.morello import MORELLO
+    from repro.memory.allocator import representable_region
+
+    size = data.draw(st.integers(1, 1 << 24))
+    align, padded = representable_region(MORELLO_COMPRESSION, size, 16)
+    base = align * data.draw(st.integers(1, 1 << 20))
+    assume(base + padded < (1 << 48))
+    bounds, exact = CompressedBounds.encode(MORELLO_COMPRESSION, base,
+                                            padded)
+    assert exact
+    lo, hi = MORELLO.portable_representable_limits(base, padded)
+    probes = {lo, hi - 1, base, base + padded,
+              data.draw(st.integers(lo, hi - 1))}
+    for addr in probes:
+        assert bounds.is_representable(base, addr), (
+            f"portable-envelope address {addr:#x} not representable for "
+            f"[{base:#x},+{padded})")

@@ -1,0 +1,106 @@
+"""Portability across capability formats (S3.10): the same semantics over
+the CHERIoT-style 64-bit capability format."""
+
+import pytest
+
+from repro.errors import OutcomeKind, UB
+from repro.impls import by_name
+from repro.testsuite.suite import all_cases
+
+CHERIOT = by_name("cerberus-cheriot")
+
+
+class TestLayout:
+    def test_sizes(self):
+        layout = CHERIOT.layout
+        from repro.ctypes import IKind, INT, Pointer
+        assert layout.sizeof(Pointer(INT)) == 8
+        assert layout.int_size(IKind.INTPTR) == 8
+        assert layout.int_size(IKind.PTRADDR) == 4
+        assert layout.int_size(IKind.LONG) == 4
+
+    def test_portable_program(self):
+        """A program using only portable CHERI C facilities behaves the
+        same on both formats."""
+        src = """
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[4];
+  a[2] = 5;
+  intptr_t ip = (intptr_t)a;
+  int *p = (int*)(ip + 2 * sizeof(int));
+  assert(cheri_tag_get(p));
+  assert(cheri_length_get(p) == 4 * sizeof(int));
+  assert(sizeof(intptr_t) == sizeof(void*));
+  return *p - 5;
+}
+"""
+        assert by_name("cerberus").run(src).ok
+        assert CHERIOT.run(src).ok
+
+    def test_oob_detection_identical(self):
+        src = """
+int main(void) {
+  int a[2];
+  int *p = a + 2;
+  return *p;
+}
+"""
+        for impl in ("cerberus", "cerberus-cheriot"):
+            out = by_name(impl).run(src)
+            assert out.ub is UB.CHERI_BOUNDS_VIOLATION
+
+    def test_byte_granularity_difference(self):
+        """S3.10/S5.4: CHERIoT is byte-granular to 511 bytes; above that
+        it rounds to 8-byte granules while Morello stays byte-exact."""
+        src = """
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  char *p = malloc(601);
+  return (int)(cheri_length_get(p) - 601);
+}
+"""
+        assert by_name("cerberus").run(src).exit_status == 0
+        assert CHERIOT.run(src).exit_status > 0   # padded
+
+    def test_exact_at_511(self):
+        src = """
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  char *p = malloc(511);
+  return (int)(cheri_length_get(p) - 511);
+}
+"""
+        assert CHERIOT.run(src).exit_status == 0
+
+
+PORTABLE_EXCLUDES = {
+    # These depend on 64-bit layout details or Morello-specific numbers.
+    "align-intptr-storage",       # ptraddr_t < intptr_t holds there too,
+                                  # but the test asserts 64-bit limits
+    "bitwise-mask-below-base",    # INT_MAX mask is target-specific
+    "signed-conversions-of-caps", # uint32 truncation identical on 32-bit
+    "repr-read-bytes-harmless",   # reads 8 address bytes (64-bit layout)
+    "intr-representable-queries", # Morello rounding thresholds
+    "intr-bounds-set-exact",      # Morello rounding thresholds
+    "alloc-large-padded-representable",  # Morello granule sizes
+    "bitwise-low-bit-tagging",    # relies on 64-bit long alignment
+}
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in all_cases() if c.name not in PORTABLE_EXCLUDES],
+    ids=lambda c: c.name)
+def test_suite_portability_on_cheriot(case):
+    """Every portable suite program has the same expected outcome over
+    the CHERIoT-style format (S3.10's portability goal)."""
+    outcome = CHERIOT.run(case.source)
+    expected = case.expected_for("cerberus", is_hardware=False, opt_level=0)
+    assert expected.check(outcome), (
+        f"{case.name}: expected {expected.describe()}, got "
+        f"{outcome.describe()} [{outcome.detail}]")

@@ -1,0 +1,162 @@
+"""The CHERI C type system: sizes, ranks, struct layout (S3.3, S3.7)."""
+
+import pytest
+
+from repro.capability import CHERIOT, MORELLO
+from repro.ctypes import (
+    ArrayT, BOOL, CHAR, compatible, Field, FuncT, IKind, INT, Integer,
+    INTPTR, LLONG, LONG, Pointer, PTRADDR, SHORT, SIZE_T, strip_const,
+    StructT, TargetLayout, UCHAR, UINT, UINTPTR, ULONG, UnionT, VOID, Void,
+)
+from repro.errors import CTypeError
+
+
+@pytest.fixture
+def layout():
+    return TargetLayout(MORELLO)
+
+
+@pytest.fixture
+def layout32():
+    return TargetLayout(CHERIOT)
+
+
+class TestIntegerProperties:
+    def test_sizes_64(self, layout):
+        assert layout.int_size(IKind.CHAR) == 1
+        assert layout.int_size(IKind.SHORT) == 2
+        assert layout.int_size(IKind.INT) == 4
+        assert layout.int_size(IKind.LONG) == 8
+        assert layout.int_size(IKind.PTRADDR) == 8
+        # (u)intptr_t storage is a whole capability (S3.3):
+        assert layout.int_size(IKind.INTPTR) == 16
+        assert layout.int_size(IKind.UINTPTR) == 16
+
+    def test_sizes_32(self, layout32):
+        assert layout32.int_size(IKind.LONG) == 4
+        assert layout32.int_size(IKind.PTRADDR) == 4
+        assert layout32.int_size(IKind.INTPTR) == 8
+
+    def test_value_width_of_intptr_is_address_width(self, layout, layout32):
+        assert layout.value_width(IKind.INTPTR) == 64
+        assert layout32.value_width(IKind.INTPTR) == 32
+
+    def test_ranges(self, layout):
+        assert layout.int_max(IKind.INT) == 2**31 - 1
+        assert layout.int_min(IKind.INT) == -(2**31)
+        assert layout.int_max(IKind.UINT) == 2**32 - 1
+        assert layout.int_min(IKind.UINT) == 0
+        assert layout.int_max(IKind.INTPTR) == 2**63 - 1
+
+    def test_wrap_signed(self, layout):
+        assert layout.wrap(IKind.INT, 2**31) == -(2**31)
+        assert layout.wrap(IKind.INT, -1) == -1
+        assert layout.wrap(IKind.UINT, -1) == 2**32 - 1
+
+    def test_in_range(self, layout):
+        assert layout.in_range(IKind.CHAR, 100)
+        assert not layout.in_range(IKind.CHAR, 200)   # char is signed here
+        assert layout.in_range(IKind.UCHAR, 200)
+
+    def test_intptr_has_maximal_rank(self, layout):
+        """S3.7: no standard integer type outranks (u)intptr_t."""
+        for kind in IKind:
+            if kind in (IKind.INTPTR, IKind.UINTPTR):
+                continue
+            assert layout.rank(kind) < layout.rank(IKind.INTPTR)
+        assert layout.rank(IKind.INTPTR) == layout.rank(IKind.UINTPTR)
+
+
+class TestSizeof:
+    def test_pointer(self, layout, layout32):
+        assert layout.sizeof(Pointer(INT)) == 16
+        assert layout32.sizeof(Pointer(INT)) == 8
+        assert layout.alignof(Pointer(INT)) == 16
+
+    def test_array(self, layout):
+        assert layout.sizeof(ArrayT(elem=INT, length=10)) == 40
+        assert layout.alignof(ArrayT(elem=Pointer(VOID), length=2)) == 16
+
+    def test_incomplete_array_rejected(self, layout):
+        with pytest.raises(CTypeError):
+            layout.sizeof(ArrayT(elem=INT, length=None))
+
+    def test_void_rejected(self, layout):
+        with pytest.raises(CTypeError):
+            layout.sizeof(VOID)
+
+    def test_function_rejected(self, layout):
+        with pytest.raises(CTypeError):
+            layout.sizeof(FuncT(ret=INT))
+
+
+class TestStructLayout:
+    def test_padding_before_capability(self, layout):
+        s = StructT(tag="mix", fields=(
+            Field("c", CHAR), Field("p", Pointer(INT)), Field("d", CHAR)))
+        offsets = {f.name: f.offset for f in layout.struct_fields(s)}
+        assert offsets == {"c": 0, "p": 16, "d": 32}
+        assert layout.struct_size(s) == 48
+        assert layout.alignof(s) == 16
+
+    def test_plain_struct(self, layout):
+        s = StructT(tag="pt", fields=(Field("x", INT), Field("y", INT)))
+        assert layout.struct_size(s) == 8
+        assert layout.offsetof(s, "y") == 4
+
+    def test_union_layout(self, layout):
+        u = UnionT(tag="pun", fields=(
+            Field("p", Pointer(INT)), Field("i", INTPTR)))
+        fields = layout.struct_fields(u)
+        assert all(f.offset == 0 for f in fields)
+        assert layout.struct_size(u) == 16
+
+    def test_offsetof_unknown_member(self, layout):
+        s = StructT(tag="pt", fields=(Field("x", INT),))
+        with pytest.raises(CTypeError):
+            layout.offsetof(s, "nope")
+
+    def test_incomplete_struct_rejected(self, layout):
+        s = StructT(tag="fwd", fields=None)
+        with pytest.raises(CTypeError):
+            layout.struct_size(s)
+
+    def test_empty_struct_min_size_one(self, layout):
+        s = StructT(tag="empty", fields=())
+        assert layout.struct_size(s) == 1
+
+
+class TestTypePredicates:
+    def test_capability_types(self, layout):
+        assert layout.is_capability_type(Pointer(VOID))
+        assert layout.is_capability_type(INTPTR)
+        assert layout.is_capability_type(UINTPTR)
+        assert not layout.is_capability_type(PTRADDR)
+        assert not layout.is_capability_type(LONG)
+
+    def test_struct_identity_by_tag(self):
+        a = StructT(tag="s", fields=(Field("x", INT),))
+        b = StructT(tag="s", fields=None)
+        assert a == b
+        assert hash(a) == hash(b)
+        u = UnionT(tag="s", fields=(Field("x", INT),))
+        assert u != a
+
+    def test_const_stripping(self):
+        qualified = INT.qualified_const()
+        assert qualified.const
+        assert strip_const(qualified) == INT
+        arr = ArrayT(elem=CHAR.qualified_const(), length=3)
+        assert not strip_const(arr).elem.const
+
+    def test_compatible(self):
+        assert compatible(Pointer(VOID), Pointer(INT))
+        assert compatible(Pointer(INT), Pointer(INT.qualified_const()))
+        assert compatible(INT, LONG)
+        assert not compatible(Pointer(INT), INT)
+
+    def test_str_rendering(self):
+        assert str(Pointer(INT)) == "int*"
+        assert str(ArrayT(elem=INT, length=4)) == "int[4]"
+        assert str(INTPTR) == "intptr_t"
+        assert "struct" in str(StructT(tag="s"))

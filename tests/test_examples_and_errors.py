@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts and the Outcome/error types."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import (
+    AssertionFailure, CheriTrap, Outcome, OutcomeKind, TrapKind, UB,
+    UndefinedBehaviour,
+)
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+        cwd=script.parent.parent)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should explain themselves"
+
+
+def test_example_count_meets_deliverable():
+    assert len(EXAMPLES) >= 3
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+
+
+class TestOutcome:
+    def test_exited(self):
+        out = Outcome.exited(3, "hi")
+        assert out.kind is OutcomeKind.EXIT
+        assert not out.ok
+        assert Outcome.exited(0).ok
+        assert out.describe() == "exit 3"
+
+    def test_undefined(self):
+        out = Outcome.undefined(UB.CHERI_INVALID_CAP, "d")
+        assert out.ub is UB.CHERI_INVALID_CAP
+        assert "UB_CHERI_InvalidCap" in out.describe()
+
+    def test_trapped(self):
+        out = Outcome.trapped(TrapKind.BOUNDS_VIOLATION)
+        assert "bounds violation" in out.describe()
+
+    def test_aborted_and_error(self):
+        assert "abort" in Outcome.aborted("x").describe()
+        assert "error" in Outcome.frontend_error("x").describe()
+
+    def test_ub_is_cheri_flag(self):
+        assert UB.CHERI_BOUNDS_VIOLATION.is_cheri
+        assert not UB.SIGNED_OVERFLOW.is_cheri
+
+    def test_exception_messages(self):
+        exc = UndefinedBehaviour(UB.DOUBLE_FREE, "ptr")
+        assert "UB_double_free: ptr" in str(exc)
+        trap = CheriTrap(TrapKind.TAG_VIOLATION)
+        assert "tag violation" in str(trap)
+        assert "assertion failed" in str(AssertionFailure("x == y"))

@@ -1,0 +1,322 @@
+"""Extended conformance corpus: corner cases beyond the 94-test suite.
+
+The paper's suite "focuses on exercising the main semantic choices"; the
+programs here probe the corners around those choices -- interactions of
+ghost state, exposure, derivation, and bounds that the main suite
+touches only once each.
+"""
+
+import pytest
+
+from repro.errors import OutcomeKind, TrapKind, UB
+from repro.impls import by_name
+from tests.conftest import run_abstract, run_hardware
+
+
+def expect_exit(src, status=0):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.EXIT, (out.describe(), out.detail)
+    assert out.exit_status == status, out.describe()
+    return out
+
+
+def expect_ub(src, ub=None):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.UNDEFINED, (out.describe(), out.detail)
+    if ub is not None:
+        assert out.ub is ub, out.describe()
+    return out
+
+
+class TestGhostStateCorners:
+    def test_ghost_survives_store_and_load(self):
+        """A ghost-marked intptr stored to memory and reloaded is still
+        unusable (S3.3: loads/stores of such values are allowed; access
+        through them is not)."""
+        expect_ub("""
+#include <stdint.h>
+uintptr_t box;
+int main(void) {
+  int x[2];
+  uintptr_t u = (uintptr_t)x;
+  box = u + (1 << 22);          /* non-representable excursion */
+  box = box - (1 << 22);        /* back in range, ghost sticky */
+  int *p = (int *)box;
+  return *p;
+}
+""", UB.CHERI_UNDEFINED_TAG)
+
+    def test_ghost_does_not_leak_into_fresh_derivation(self):
+        """Deriving from the *clean* original stays clean even after a
+        ghosted sibling value was created."""
+        expect_exit("""
+#include <stdint.h>
+int main(void) {
+  int x[2];
+  x[1] = 5;
+  uintptr_t u = (uintptr_t)x;
+  uintptr_t ghosted = u + (1 << 22);   /* ghost on this value only */
+  (void)ghosted;
+  int *p = (int *)(u + sizeof(int));   /* fresh derivation from u */
+  return *p - 5;
+}
+""")
+
+    def test_address_defined_after_double_excursion(self):
+        expect_exit("""
+#include <stdint.h>
+int main(void) {
+  int x;
+  uintptr_t u = (uintptr_t)&x;
+  uintptr_t v = u + (1 << 30);
+  v = v - (1 << 29);
+  v = v - (1 << 29);
+  return v == u ? 0 : 1;      /* the integer value is exact */
+}
+""")
+
+    def test_memcpy_of_ghosted_value_allowed(self):
+        """memcpy of a ghost-marked capability must not be UB (S3.3:
+        'otherwise memcpy of such values would become UB')."""
+        expect_exit("""
+#include <stdint.h>
+#include <string.h>
+int main(void) {
+  int x[2];
+  uintptr_t u = (uintptr_t)x + (1 << 22);   /* ghosted */
+  uintptr_t copy;
+  memcpy(&copy, &u, sizeof u);
+  return copy == (uintptr_t)x + (1 << 22) ? 0 : 1;
+}
+""")
+
+
+class TestExposureCorners:
+    def test_exposure_is_permanent(self):
+        expect_exit("""
+#include <stdint.h>
+int main(void) {
+  int x = 3;
+  (void)(ptraddr_t)&x;               /* expose once */
+  /* Much later, an integer-built pointer still gets provenance
+     (though never a tag). */
+  int probe;
+  ptraddr_t a = (ptraddr_t)&probe - ((ptraddr_t)&probe - (ptraddr_t)&x);
+  int *p = (int *)(uintptr_t)a;
+  return p == &x ? 0 : 1;
+}
+""")
+
+    def test_struct_member_exposure_via_whole_object(self):
+        expect_exit("""
+#include <stdint.h>
+struct pair { int a; int b; };
+int main(void) {
+  struct pair s;
+  s.b = 9;
+  (void)(ptraddr_t)&s;               /* expose the whole object */
+  ptraddr_t addr = (ptraddr_t)&s + sizeof(int);
+  int *pb = (int *)(uintptr_t)addr;
+  return pb == &s.b ? 0 : 1;
+}
+""")
+
+
+class TestBoundsChains:
+    def test_repeated_narrowing_is_monotone(self):
+        expect_exit("""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  char buf[256];
+  char *p = buf;
+  for (int len = 256; len >= 4; len /= 2) {
+    p = cheri_bounds_set(p, len);
+    assert(cheri_tag_get(p));
+    assert(cheri_length_get(p) == (size_t)len);
+  }
+  p[0] = 1;
+  p[3] = 2;
+  return p[0] + p[3] - 3;
+}
+""")
+
+    def test_narrow_then_offset_then_access(self):
+        expect_ub("""
+#include <cheriintrin.h>
+int main(void) {
+  char buf[64];
+  buf[32] = 1;
+  char *narrow = cheri_bounds_set(buf, 16);
+  char *q = cheri_address_set(narrow, cheri_address_get(buf) + 32);
+  return *q;      /* address moved past narrowed bounds */
+}
+""")
+
+    def test_offset_set_relative_to_base(self):
+        expect_exit("""
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[8];
+  a[5] = 7;
+  int *p = &a[2];
+  int *q = cheri_offset_set(p, 5 * sizeof(int));
+  assert(cheri_address_get(q) == cheri_base_get(p) + 5 * sizeof(int));
+  return *q - 7;
+}
+""")
+
+
+class TestDerivationCorners:
+    def test_compound_assign_derives_from_target(self):
+        expect_exit("""
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[4];
+  a[1] = 6;
+  uintptr_t u = (uintptr_t)a;
+  u += sizeof(int);          /* derivation from u (the left side) */
+  assert(cheri_tag_get(u));
+  return *(int *)u - 6;
+}
+""")
+
+    def test_ternary_keeps_capability(self):
+        expect_exit("""
+#include <stdint.h>
+#include <cheriintrin.h>
+int main(void) {
+  int x = 4;
+  intptr_t a = (intptr_t)&x;
+  intptr_t b = 0;
+  intptr_t chosen = 1 ? a : b;
+  return *(int *)chosen - 4;
+}
+""")
+
+    def test_subtraction_of_caps_derives_left(self):
+        """cap - cap derives from the left: the (small) difference value
+        is far outside the left cap's representable window, so the
+        result is ghost-marked but its integer value is exact."""
+        expect_exit("""
+#include <stdint.h>
+int main(void) {
+  int a[8];
+  uintptr_t lo = (uintptr_t)&a[0];
+  uintptr_t hi = (uintptr_t)&a[6];
+  uintptr_t delta = hi - lo;
+  return delta == 6 * sizeof(int) ? 0 : 1;
+}
+""")
+
+    def test_shift_keeps_derivation(self):
+        expect_exit("""
+#include <stdint.h>
+int main(void) {
+  int x;
+  uintptr_t u = (uintptr_t)&x;
+  uintptr_t page = (u >> 12) << 12;    /* page-align: classic idiom */
+  return page <= u && u - page < 4096 ? 0 : 1;
+}
+""")
+
+
+class TestMemcpyPhases:
+    def test_offset_copy_within_buffers(self):
+        """A capability copied between *interior* (but aligned and
+        phase-matching) slots survives."""
+        expect_exit("""
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *bufA[4];
+  int *bufB[4];
+  bufA[2] = &x;
+  memcpy(&bufB[2], &bufA[2], sizeof(int*));
+  assert(cheri_tag_get(bufB[2]));
+  return 0;
+}
+""")
+
+    def test_wide_copy_preserves_all(self):
+        expect_exit("""
+#include <string.h>
+#include <cheriintrin.h>
+int main(void) {
+  int v[8];
+  int *src[8];
+  int *dst[8];
+  for (int i = 0; i < 8; i++) { v[i] = i; src[i] = &v[i]; }
+  memcpy(dst, src, sizeof src);
+  int total = 0;
+  for (int i = 0; i < 8; i++) {
+    if (!cheri_tag_get(dst[i])) return 99;
+    total += *dst[i];
+  }
+  return total - 28;
+}
+""")
+
+    def test_memcmp_of_capability_bytes(self):
+        """memcmp over pointer representations is legal and compares the
+        (address-containing) bytes."""
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  int x;
+  int *a = &x;
+  int *b = &x;
+  return memcmp(&a, &b, sizeof a);   /* identical representations */
+}
+""")
+
+
+class TestHardwareOnlyCorners:
+    def test_gap_access_succeeds_on_hardware_only(self):
+        """The allocator padding gap (S3.2): hardware allows it, the
+        abstract machine does not -- provenance is the tighter net."""
+        src = """
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  char *p = malloc(1000001);
+  size_t len = cheri_length_get(p);
+  if (len == 1000001) return 0;      /* no padding: vacuous */
+  p[1000001] = 1;                     /* in cap bounds, out of object */
+  return 0;
+}
+"""
+        out_hw = run_hardware(src)
+        assert out_hw.kind is OutcomeKind.EXIT
+        out_abs = run_abstract(src)
+        assert out_abs.ub is UB.ACCESS_OUT_OF_BOUNDS
+
+    def test_wrapping_unsigned_arithmetic_on_hardware(self):
+        src = """
+int main(void) {
+  unsigned u = 0;
+  u = u - 1;
+  return u == 4294967295u ? 0 : 1;
+}
+"""
+        assert run_abstract(src).ok
+        assert run_hardware(src).ok
+
+    def test_cheriot_hardware_runs_portable_code(self):
+        src = """
+#include <stdint.h>
+int main(void) {
+  long total = 0;
+  int a[4] = {1, 2, 3, 4};
+  for (int i = 0; i < 4; i++) total += a[i];
+  uintptr_t u = (uintptr_t)a;
+  total += *(int *)(u + 2 * sizeof(int));
+  return (int)(total - 13);
+}
+"""
+        assert by_name("cheriot-O0").run(src).ok

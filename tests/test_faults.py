@@ -1,0 +1,89 @@
+"""Unit tests for the seeded-fault implementations (S5 bug classes)."""
+
+import pytest
+
+from repro.errors import OutcomeKind
+from repro.impls.faults import FAULTS, FaultyImplementation
+from repro.impls.registry import CLANG_MORELLO_O0
+
+
+class TestRegistry:
+    def test_four_bug_classes(self):
+        assert set(FAULTS) == {"realloc-drops-tag", "memcpy-bytewise",
+                               "malloc-unpadded", "const-writable"}
+
+    def test_all_hardware_mode(self):
+        from repro.memory.model import Mode
+        for impl in FAULTS.values():
+            assert isinstance(impl, FaultyImplementation)
+            assert impl.mode is Mode.HARDWARE
+            assert impl.description
+
+    def test_models_differ_from_base(self):
+        from repro.memory.model import MemoryModel
+        for impl in FAULTS.values():
+            assert impl.model_class is not MemoryModel
+            assert isinstance(impl.fresh_model(), impl.model_class)
+
+
+class TestFaultBehaviours:
+    def test_realloc_drops_tag(self):
+        out = FAULTS["realloc-drops-tag"].run("""
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  int *p = malloc(4);
+  int *q = realloc(p, 16);
+  return cheri_tag_get(q) ? 0 : 7;
+}
+""")
+        assert out.exit_status == 7
+        assert CLANG_MORELLO_O0.run("""
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  int *p = malloc(4);
+  int *q = realloc(p, 16);
+  return cheri_tag_get(q) ? 0 : 7;
+}
+""").exit_status == 0
+
+    def test_memcpy_bytewise_clears_tags(self):
+        src = """
+#include <string.h>
+#include <cheriintrin.h>
+int main(void) {
+  int x;
+  int *s = &x;
+  int *d;
+  memcpy(&d, &s, sizeof s);
+  return cheri_tag_get(d) ? 0 : 7;
+}
+"""
+        assert FAULTS["memcpy-bytewise"].run(src).exit_status == 7
+        assert CLANG_MORELLO_O0.run(src).exit_status == 0
+
+    def test_malloc_unpadded_overlap(self):
+        src = """
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+  char *a = malloc(1000001);
+  char *b = malloc(8);
+  ptraddr_t atop = cheri_base_get(a) + cheri_length_get(a);
+  return atop > cheri_base_get(b) ? 7 : 0;   /* bounds overlap b */
+}
+"""
+        assert FAULTS["malloc-unpadded"].run(src).exit_status == 7
+        assert CLANG_MORELLO_O0.run(src).exit_status == 0
+
+    def test_const_writable_mutates_literal(self):
+        src = """
+int main(void) {
+  char *s = (char*)"hi";
+  s[0] = 'H';
+  return s[0] == 'H' ? 7 : 0;
+}
+"""
+        assert FAULTS["const-writable"].run(src).exit_status == 7
+        assert CLANG_MORELLO_O0.run(src).kind is OutcomeKind.TRAP

@@ -1,0 +1,83 @@
+"""Golden vectors for the compression algorithm.
+
+These freeze specific encode/decode results so that algorithmic changes
+to the CHERI Concentrate implementation are loud: a change here means
+every bounds check in the semantics changed meaning.
+"""
+
+import pytest
+
+from repro.capability.cheriot import CHERIOT_COMPRESSION
+from repro.capability.concentrate import CompressedBounds
+from repro.capability.morello import MORELLO_COMPRESSION
+
+# (params, base, length) -> (b_field, t_field, internal, exact,
+#                            decoded_base, decoded_top)
+MORELLO_VECTORS = [
+    # Small, byte-exact objects: mantissas hold the raw low bits.
+    ((0x0, 0), (0x0000, 0x0000, False, True, 0x0, 0x0)),
+    ((0x1000, 8), (0x1000, 0x1008 & 0x3FFF, False, True, 0x1000, 0x1008)),
+    ((0xffffe6dc, 8), (0xe6dc, (0xe6e4) & 0x3FFF, False, True,
+                       0xffffe6dc, 0xffffe6e4)),
+    # The largest byte-exact length.
+    ((0x4000, 16383), (0x4000, (0x4000 + 16383) & 0x3FFF, False, True,
+                       0x4000, 0x4000 + 16383)),
+    # Internal exponent: 2^20 at an aligned base stays exact.
+    ((0x100000, 1 << 20), (None, None, True, True,
+                           0x100000, 0x100000 + (1 << 20))),
+    # Unaligned large request rounds outward.
+    ((0x100001, 1 << 20), (None, None, True, False, 0x100000, 0x200200)),
+]
+
+
+@pytest.mark.parametrize("request_,expected", MORELLO_VECTORS,
+                         ids=[f"base={b:#x},len={l}"
+                              for (b, l), _ in MORELLO_VECTORS])
+def test_morello_golden_vectors(request_, expected):
+    base, length = request_
+    b_field, t_field, internal, exact, dbase, dtop = expected
+    bounds, got_exact = CompressedBounds.encode(MORELLO_COMPRESSION,
+                                                base, length)
+    assert got_exact == exact
+    assert bounds.internal_exponent == internal
+    if b_field is not None:
+        assert bounds.b_field == b_field
+    if t_field is not None:
+        assert bounds.t_field == t_field
+    decoded = bounds.decode(base)
+    assert (decoded.base, decoded.top) == (dbase, dtop)
+
+
+CHERIOT_VECTORS = [
+    ((0x20000000, 511), (True, 0x20000000, 0x20000000 + 511)),
+    ((0x20000000, 512), (True, 0x20000000, 0x20000000 + 512)),
+    # Above 511 bytes the granule is 8: an unaligned base goes inexact
+    # even when the length is a multiple of 8.
+    ((0x20000001, 600), (False, 0x20000000, 0x20000260)),
+    # 601 is not an 8-byte multiple: rounds at granule 8.
+    ((0x20000000, 601), (False, 0x20000000, 0x20000000 + 608)),
+    ((0x20000001, 601), (False, 0x20000000, 0x20000260)),
+]
+
+
+@pytest.mark.parametrize("request_,expected", CHERIOT_VECTORS,
+                         ids=[f"base={b:#x},len={l}"
+                              for (b, l), _ in CHERIOT_VECTORS])
+def test_cheriot_golden_vectors(request_, expected):
+    base, length = request_
+    exact, dbase, dtop = expected
+    bounds, got_exact = CompressedBounds.encode(CHERIOT_COMPRESSION,
+                                                base, length)
+    assert got_exact == exact
+    decoded = bounds.decode(base)
+    assert (decoded.base, decoded.top) == (dbase, dtop)
+
+
+def test_maximal_fields_are_stable():
+    m = CompressedBounds.maximal(MORELLO_COMPRESSION)
+    assert m.internal_exponent
+    d = m.decode(0)
+    assert (d.base, d.top, d.exponent) == (0, 1 << 64, 50)
+    c = CompressedBounds.maximal(CHERIOT_COMPRESSION)
+    dc = c.decode(0)
+    assert (dc.base, dc.top, dc.exponent) == (0, 1 << 32, 23)

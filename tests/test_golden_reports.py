@@ -1,0 +1,68 @@
+"""Golden-output regression tests for the deterministic paper artefacts.
+
+The Appendix-A trace and the Figure-1 layout are fully deterministic,
+so any change to their regenerated text signals a semantic change in
+capability printing, allocator address policy, or the encoding layout.
+The golden copies live in ``tests/golden/``; refresh them deliberately
+when a change is intended:
+
+    pytest benchmarks/bench_appendix_a.py benchmarks/bench_figure1.py \
+        --benchmark-only
+    cp benchmarks/reports/{appendix_a,figure1}.txt tests/golden/
+"""
+
+import pathlib
+
+import pytest
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+# The paper's Appendix A listing, verbatim.
+APPENDIX_SRC = r"""
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+#include "capprint.h"
+
+int main(void) {
+  int x[2]={42,43};
+  intptr_t ip = (intptr_t)&x;
+  fprintf(stderr,"cap %" PTR_FMT "\n", sptr((void*)ip));
+  intptr_t ip2 = ip & UINT_MAX;
+  fprintf(stderr,"cap&uint %" PTR_FMT "\n", sptr((void*)ip2));
+  intptr_t ip3 = ip & INT_MAX;
+  fprintf(stderr,"cap&int %" PTR_FMT "\n", sptr((void*)ip3));
+}
+"""
+
+
+def regenerate_appendix() -> str:
+    from repro.impls import APPENDIX_IMPLEMENTATIONS
+    blocks = []
+    for impl in APPENDIX_IMPLEMENTATIONS:
+        out = impl.run(APPENDIX_SRC)
+        blocks.append(f"{impl.name}:\n{out.stdout}")
+    return "\n".join(blocks)
+
+
+def regenerate_figure1() -> str:
+    import importlib.util
+    import sys
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    sys.path.insert(0, str(bench_dir))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_figure1", bench_dir / "bench_figure1.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.render_figure1()
+    finally:
+        sys.path.remove(str(bench_dir))
+
+
+def test_appendix_a_is_stable():
+    assert regenerate_appendix() == (GOLDEN / "appendix_a.txt").read_text()
+
+
+def test_figure1_is_stable():
+    assert regenerate_figure1() == (GOLDEN / "figure1.txt").read_text()

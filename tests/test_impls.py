@@ -1,0 +1,129 @@
+"""The simulated implementations and the Appendix-A divergence."""
+
+import pytest
+
+from repro.errors import OutcomeKind
+from repro.impls import (
+    ALL_IMPLEMENTATIONS, APPENDIX_IMPLEMENTATIONS, CERBERUS, by_name,
+)
+from repro.memory.model import Mode
+
+APPENDIX_SRC = """
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+  int x[2]={42,43};
+  intptr_t ip = (intptr_t)&x;
+  print_cap("cap", ip);
+  intptr_t ip2 = ip & UINT_MAX;
+  print_cap("cap&uint", ip2);
+  intptr_t ip3 = ip & INT_MAX;
+  print_cap("cap&int", ip3);
+  return 0;
+}
+"""
+
+
+class TestRegistry:
+    def test_names_unique(self):
+        names = [impl.name for impl in ALL_IMPLEMENTATIONS]
+        assert len(names) == len(set(names))
+
+    def test_by_name(self):
+        assert by_name("cerberus") is CERBERUS
+        with pytest.raises(KeyError):
+            by_name("tcc")
+
+    def test_reference_is_abstract(self):
+        assert CERBERUS.mode is Mode.ABSTRACT
+        assert CERBERUS.opt_level == 0
+
+    def test_compiled_impls_are_hardware(self):
+        for impl in ALL_IMPLEMENTATIONS:
+            if impl is not CERBERUS:
+                assert impl.mode is Mode.HARDWARE
+
+    def test_appendix_set_covers_three_compilers(self):
+        names = {i.name for i in APPENDIX_IMPLEMENTATIONS}
+        assert "cerberus" in names
+        assert any("clang-riscv" in n for n in names)
+        assert any("clang-morello" in n for n in names)
+        assert any("gcc-morello" in n for n in names)
+
+    def test_fresh_models_are_independent(self):
+        m1 = CERBERUS.fresh_model()
+        m2 = CERBERUS.fresh_model()
+        assert m1.state is not m2.state
+
+
+class TestAppendixDivergence:
+    """The Appendix-A experiment: who shows non-representability for
+    which mask is an allocator-address-range effect."""
+
+    def test_cerberus_ghost_only_for_int_mask(self):
+        out = CERBERUS.run(APPENDIX_SRC)
+        assert out.ok
+        lines = out.stdout.splitlines()
+        assert lines[0].startswith("cap (@")
+        assert "notag" not in lines[1]      # & UINT_MAX: identity
+        assert "[?-?]" in lines[2]          # & INT_MAX: ghost state
+        assert "(notag)" in lines[2]
+
+    @pytest.mark.parametrize("name", ["clang-riscv-O0", "clang-morello-O0"])
+    def test_clang_both_masks_invalid(self, name):
+        out = by_name(name).run(APPENDIX_SRC)
+        assert out.ok
+        lines = out.stdout.splitlines()
+        assert "(invalid)" not in lines[0]
+        assert "(invalid)" in lines[1]
+        assert "(invalid)" in lines[2]
+
+    @pytest.mark.parametrize("name", ["gcc-morello-O0", "gcc-morello-O3"])
+    def test_gcc_unaffected(self, name):
+        out = by_name(name).run(APPENDIX_SRC)
+        assert out.ok
+        assert "(invalid)" not in out.stdout
+
+    def test_address_ranges_match_the_paper_shape(self):
+        """Clang stacks sit above 2^32; GCC's below 2^31; Cerberus just
+        below 2^32 (so only the INT_MAX mask moves the address)."""
+        probe = """
+#include <stdint.h>
+#include <stdio.h>
+int main(void) {
+  int x;
+  printf("%zx\\n", (ptraddr_t)&x);
+  return 0;
+}
+"""
+        addr = {}
+        for name in ("cerberus", "clang-riscv-O0", "clang-morello-O0",
+                     "gcc-morello-O0"):
+            out = by_name(name).run(probe)
+            addr[name] = int(out.stdout.strip(), 16)
+        assert addr["gcc-morello-O0"] < 2**31
+        assert 2**31 < addr["cerberus"] < 2**32
+        assert addr["clang-riscv-O0"] > 2**32
+        assert addr["clang-morello-O0"] > 2**40
+
+    def test_hardware_stdout_has_no_provenance(self):
+        out = by_name("clang-riscv-O0").run(APPENDIX_SRC)
+        assert "@" not in out.stdout
+
+
+class TestSubobjectImplementation:
+    def test_member_narrowing(self):
+        src = """
+#include <cheriintrin.h>
+struct pair { int a; int b; };
+int main(void) {
+  struct pair p;
+  int *pb = &p.b;
+  return (int)cheri_length_get(pb);
+}
+"""
+        conservative = by_name("clang-morello-O3").run(src)
+        strict = by_name("clang-morello-O3-subobject-safe").run(src)
+        assert conservative.exit_status == 8   # whole struct
+        assert strict.exit_status == 4         # just the member

@@ -1,0 +1,301 @@
+"""The evaluator: expression semantics, control flow, conversions, UB."""
+
+import pytest
+
+from repro.errors import OutcomeKind, TrapKind, UB
+from tests.conftest import run_abstract, run_hardware
+
+
+def expect_exit(src, status=0):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.EXIT, out.describe() + " " + out.detail
+    assert out.exit_status == status, out.describe()
+    return out
+
+
+def expect_ub(src, ub=None):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.UNDEFINED, out.describe()
+    if ub is not None:
+        assert out.ub is ub, out.describe()
+    return out
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        expect_exit("int main(void){ return (7*6) % 43 + 10/10 - 1; }", 42)
+
+    def test_division_truncates_toward_zero(self):
+        # C: -7/2 == -3 (truncation toward zero, not floor)
+        expect_exit("int main(void){ return (-7 / 2) + 3; }", 0)
+        expect_exit("int main(void){ return 7 / -2 + 3; }", 0)
+
+    def test_modulo_sign(self):
+        expect_exit("int main(void){ return -7 % 2 + 1; }", 0)  # -1 + 1
+
+    def test_unsigned_wraps(self):
+        expect_exit("""
+int main(void){ unsigned u = 0; u = u - 1;
+  return u == 4294967295u ? 0 : 1; }""")
+
+    def test_signed_overflow_is_ub(self):
+        expect_ub("""
+#include <limits.h>
+int main(void){ int x = INT_MAX; return x + 1; }""", UB.SIGNED_OVERFLOW)
+
+    def test_signed_overflow_wraps_on_hardware(self):
+        out = run_hardware("""
+#include <limits.h>
+int main(void){ int x = INT_MAX; x = x + 1; return x == INT_MIN ? 0 : 1; }""")
+        assert out.ok
+
+    def test_division_by_zero_ub(self):
+        expect_ub("int main(void){ int z = 0; return 1 / z; }",
+                  UB.DIVISION_BY_ZERO)
+
+    def test_division_by_zero_hardware_yields_zero(self):
+        out = run_hardware("int main(void){ int z = 0; return 1 / z; }")
+        assert out.ok
+
+    def test_shift_out_of_range_ub(self):
+        expect_ub("int main(void){ int s = 33; return 1 << (s + 11); }",
+                  UB.SHIFT_OUT_OF_RANGE)
+
+    def test_shift_semantics(self):
+        expect_exit("int main(void){ return (1 << 5) >> 3; }", 4)
+
+    def test_bitwise(self):
+        expect_exit("int main(void){ return (0xF0 & 0x3C) | (1 ^ 1); }",
+                    0x30)
+
+    def test_comparisons_and_logic(self):
+        expect_exit("""
+int main(void){
+  if (!(1 < 2 && 2 <= 2 && 3 > 2 && 2 >= 2 && 1 != 2 && 2 == 2)) return 1;
+  if (0 || 0) return 2;
+  if (!(1 || 0)) return 3;
+  return 0;
+}""")
+
+    def test_short_circuit(self):
+        expect_exit("""
+int hits = 0;
+int bump(void) { hits = hits + 1; return 1; }
+int main(void){
+  0 && bump();
+  1 || bump();
+  return hits;
+}""", 0)
+
+    def test_conditional_expr(self):
+        expect_exit("int main(void){ return 1 ? 42 : 7; }", 42)
+
+    def test_comma(self):
+        expect_exit("int main(void){ int x; return (x = 4, x + 1); }", 5)
+
+    def test_usual_conversions_signedness(self):
+        # -1 compared against unsigned converts to huge value.
+        expect_exit("""
+int main(void){ unsigned u = 1; int s = -1;
+  return (s < u) ? 1 : 0; }""", 0)
+
+
+class TestControlFlow:
+    def test_while_break_continue(self):
+        expect_exit("""
+int main(void){
+  int n = 0;
+  int i = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10) break;
+    if (i % 2) continue;
+    n = n + i;
+  }
+  return n;   /* 2+4+6+8+10 */
+}""", 30)
+
+    def test_do_while_runs_once(self):
+        expect_exit("int main(void){ int n=0; do n=n+1; while(0); return n; }",
+                    1)
+
+    def test_nested_loops(self):
+        expect_exit("""
+int main(void){
+  int total = 0;
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      total += i * j;
+  return total;
+}""", 18)
+
+    def test_recursion(self):
+        expect_exit("""
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int main(void){ return fib(10); }""", 55)
+
+    def test_scoped_shadowing(self):
+        expect_exit("""
+int main(void){
+  int x = 1;
+  { int x = 2; if (x != 2) return 1; }
+  return x;
+}""", 1)
+
+    def test_static_local_persists(self):
+        expect_exit("""
+int counter(void) { static int n; n = n + 1; return n; }
+int main(void){ counter(); counter(); return counter(); }""", 3)
+
+    def test_incdec_forms(self):
+        expect_exit("""
+int main(void){
+  int x = 5;
+  int a = x++;
+  int b = ++x;
+  int c = x--;
+  int d = --x;
+  return a + b + c + d;  /* 5 + 7 + 7 + 5 */
+}""", 24)
+
+    def test_pointer_incdec(self):
+        expect_exit("""
+int main(void){
+  int a[3] = {1, 2, 3};
+  int *p = a;
+  p++;
+  int v = *p++;
+  return v * 10 + (p - a);   /* 2, offset 2 */
+}""", 22)
+
+
+class TestStringsAndIO:
+    def test_printf_formats(self):
+        out = expect_exit("""
+#include <stdio.h>
+int main(void){
+  printf("%d %u %x %c %s|", -5, 7u, 255, 'A', "str");
+  printf("%ld %zu %%\\n", 123456789L, sizeof(int));
+  return 0;
+}""")
+        assert "-5 7 ff A str|" in out.stdout
+        assert "123456789 4 %" in out.stdout
+
+    def test_puts_putchar(self):
+        out = expect_exit("""
+#include <stdio.h>
+int main(void){ puts("hello"); putchar('x'); return 0; }""")
+        assert out.stdout == "hello\nx"
+
+    def test_string_functions(self):
+        expect_exit("""
+#include <string.h>
+int main(void){
+  char buf[8];
+  strcpy(buf, "abc");
+  if (strlen(buf) != 3) return 1;
+  if (strcmp(buf, "abc") != 0) return 2;
+  if (strcmp(buf, "abd") >= 0) return 3;
+  if (strncmp(buf, "abX", 2) != 0) return 4;
+  return 0;
+}""")
+
+    def test_string_literals_interned(self):
+        expect_exit("""
+int main(void){
+  const char *a = "same";
+  const char *b = "same";
+  return a == b ? 0 : 1;   /* literal interning */
+}""")
+
+    def test_char_array_initializer(self):
+        expect_exit("""
+int main(void){
+  char msg[6] = "hi";
+  return msg[0] == 'h' && msg[1] == 'i' && msg[2] == 0 ? 0 : 1;
+}""")
+
+
+class TestAborts:
+    def test_assert_failure(self):
+        out = run_abstract("int main(void){ assert(1 == 2); return 0; }")
+        assert out.kind is OutcomeKind.ABORT
+
+    def test_abort(self):
+        out = run_abstract("#include <stdlib.h>\nint main(void){ abort(); }")
+        assert out.kind is OutcomeKind.ABORT
+
+    def test_exit(self):
+        out = run_abstract(
+            "#include <stdlib.h>\nint main(void){ exit(3); return 0; }")
+        assert out.kind is OutcomeKind.EXIT and out.exit_status == 3
+
+    def test_uninitialised_branch_is_ub(self):
+        expect_ub("int main(void){ int x; if (x) return 1; return 0; }",
+                  UB.READ_UNINITIALISED)
+
+
+class TestFrontendErrors:
+    def test_unknown_identifier(self):
+        out = run_abstract("int main(void){ return nosuch; }")
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_unknown_function(self):
+        out = run_abstract("int main(void){ return nosuchfn(); }")
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_no_main(self):
+        out = run_abstract("int helper(void){ return 0; }")
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_call_arity_checked(self):
+        out = run_abstract("""
+int f(int a) { return a; }
+int main(void){ return f(1, 2); }""")
+        assert out.kind is OutcomeKind.ERROR
+
+    def test_runaway_loop_cut_off(self):
+        out = run_abstract("int main(void){ while (1) ; return 0; }")
+        assert out.kind is OutcomeKind.ERROR
+
+
+class TestStructsUnions:
+    def test_nested_struct_access(self):
+        expect_exit("""
+struct inner { int v; };
+struct outer { struct inner in; int pad; };
+int main(void){
+  struct outer o;
+  o.in.v = 42;
+  o.pad = 1;
+  return o.in.v;
+}""", 42)
+
+    def test_arrow_access(self):
+        expect_exit("""
+struct p { int x; int y; };
+int main(void){
+  struct p s;
+  struct p *ps = &s;
+  ps->x = 40;
+  ps->y = 2;
+  return ps->x + s.y;
+}""", 42)
+
+    def test_struct_in_array(self):
+        expect_exit("""
+struct p { int x; int y; };
+int main(void){
+  struct p ps[2];
+  ps[1].x = 42;
+  return ps[1].x;
+}""", 42)
+
+    def test_union_member_aliasing(self):
+        expect_exit("""
+union bits { unsigned u; unsigned char b[4]; };
+int main(void){
+  union bits v;
+  v.u = 0x01020304;
+  return v.b[0];     /* little endian */
+}""", 4)

@@ -1,0 +1,261 @@
+"""More interpreter coverage: pointer-heavy programs, aggregates,
+multi-dimensional arrays, struct assignment, and linked structures."""
+
+import pytest
+
+from repro.errors import OutcomeKind, UB
+from tests.conftest import run_abstract, run_hardware
+
+
+def expect_exit(src, status=0):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.EXIT, (out.describe(), out.detail)
+    assert out.exit_status == status, out.describe()
+    return out
+
+
+class TestMultiDimArrays:
+    def test_matrix_walk(self):
+        expect_exit("""
+int main(void) {
+  int m[3][4];
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      m[i][j] = i * 4 + j;
+  int total = 0;
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      total += m[i][j];
+  return total;     /* 0+1+...+11 */
+}""", 66)
+
+    def test_row_pointer(self):
+        expect_exit("""
+int main(void) {
+  int m[2][3] = { {1,2,3}, {4,5,6} };
+  int *row = m[1];
+  return row[0] + row[2];    /* 4 + 6 */
+}""", 10)
+
+    def test_row_oob_is_caught(self):
+        out = run_abstract("""
+int main(void) {
+  int m[2][3];
+  m[0][0] = 1;
+  int *row = m[0];
+  return row[7];      /* beyond the whole matrix */
+}""")
+        assert out.kind is OutcomeKind.UNDEFINED
+
+    def test_nested_initializer_padding(self):
+        expect_exit("""
+int main(void) {
+  int m[2][3] = { {1}, {2, 3} };
+  return m[0][0] + m[0][1] + m[0][2] + m[1][0] + m[1][1] + m[1][2];
+}""", 6)
+
+
+class TestStructAssignment:
+    def test_whole_struct_copy(self):
+        expect_exit("""
+struct pair { int a; int b; };
+int main(void) {
+  struct pair x = { 40, 2 };
+  struct pair y;
+  y = x;                /* member-wise copy */
+  x.a = 0;              /* y unaffected */
+  return y.a + y.b;
+}""", 42)
+
+    def test_struct_with_pointer_copied(self):
+        expect_exit("""
+#include <cheriintrin.h>
+#include <assert.h>
+struct box { int *p; int tagbit; };
+int main(void) {
+  int v = 7;
+  struct box a = { &v, 1 };
+  struct box b;
+  b = a;
+  assert(cheri_tag_get(b.p));   /* capability survives struct copy */
+  return *b.p - 7;
+}""")
+
+    def test_struct_as_argument_and_return(self):
+        expect_exit("""
+struct pair { int a; int b; };
+struct pair swap(struct pair p) {
+  struct pair out;
+  out.a = p.b;
+  out.b = p.a;
+  return out;
+}
+int main(void) {
+  struct pair p = { 2, 40 };
+  struct pair q = swap(p);
+  return q.a + p.a;   /* 40 + 2 */
+}""", 42)
+
+
+class TestLinkedStructures:
+    def test_singly_linked_list(self):
+        expect_exit("""
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void) {
+  struct node *head = 0;
+  for (int i = 1; i <= 5; i++) {
+    struct node *n = malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  int total = 0;
+  for (struct node *p = head; p != 0; p = p->next) total += p->v;
+  while (head != 0) {
+    struct node *next = head->next;
+    free(head);
+    head = next;
+  }
+  return total;
+}""", 15)
+
+    def test_binary_tree_recursion(self):
+        expect_exit("""
+#include <stdlib.h>
+struct tree { int v; struct tree *l; struct tree *r; };
+struct tree *insert(struct tree *t, int v) {
+  if (t == 0) {
+    struct tree *n = malloc(sizeof(struct tree));
+    n->v = v; n->l = 0; n->r = 0;
+    return n;
+  }
+  if (v < t->v) t->l = insert(t->l, v);
+  else t->r = insert(t->r, v);
+  return t;
+}
+int total(struct tree *t) {
+  if (t == 0) return 0;
+  return t->v + total(t->l) + total(t->r);
+}
+int main(void) {
+  struct tree *t = 0;
+  int vals[5] = { 8, 3, 10, 1, 20 };
+  for (int i = 0; i < 5; i++) t = insert(t, vals[i]);
+  return total(t);
+}""", 42)
+
+    def test_dangling_after_list_free(self):
+        out = run_abstract("""
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void) {
+  struct node *a = malloc(sizeof(struct node));
+  a->v = 1; a->next = 0;
+  struct node *alias = a;
+  free(a);
+  return alias->v;
+}""")
+        assert out.ub is UB.ACCESS_DEAD_ALLOCATION
+
+
+class TestPointerToPointer:
+    def test_out_parameter(self):
+        expect_exit("""
+#include <stdlib.h>
+int provide(int **out) {
+  *out = malloc(sizeof(int));
+  **out = 42;
+  return 0;
+}
+int main(void) {
+  int *p;
+  provide(&p);
+  int v = *p;
+  free(p);
+  return v;
+}""", 42)
+
+    def test_array_of_strings(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  const char *words[3] = { "a", "bc", "def" };
+  int total = 0;
+  for (int i = 0; i < 3; i++) total += (int)strlen(words[i]);
+  return total;
+}""", 6)
+
+    def test_swap_via_double_pointer(self):
+        expect_exit("""
+void swap(int **a, int **b) {
+  int *t = *a;
+  *a = *b;
+  *b = t;
+}
+int main(void) {
+  int x = 1, y = 2;
+  int *px = &x, *py = &y;
+  swap(&px, &py);
+  return *px * 10 + *py;   /* 2*10 + 1 */
+}""", 21)
+
+
+class TestMixedScenarios:
+    def test_bubble_sort(self):
+        expect_exit("""
+int main(void) {
+  int a[6] = { 5, 2, 6, 1, 4, 3 };
+  for (int i = 0; i < 5; i++)
+    for (int j = 0; j < 5 - i; j++)
+      if (a[j] > a[j+1]) { int t = a[j]; a[j] = a[j+1]; a[j+1] = t; }
+  for (int i = 0; i < 6; i++)
+    if (a[i] != i + 1) return 1;
+  return 0;
+}""")
+
+    def test_string_reverse_in_place(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char s[8] = "abcdef";
+  int n = (int)strlen(s);
+  for (int i = 0; i < n / 2; i++) {
+    char t = s[i];
+    s[i] = s[n - 1 - i];
+    s[n - 1 - i] = t;
+  }
+  return strcmp(s, "fedcba");
+}""")
+
+    def test_function_pointer_table_with_state(self):
+        expect_exit("""
+static int acc;
+void add2(void) { acc += 2; }
+void add5(void) { acc += 5; }
+int main(void) {
+  void (*ops[4])(void) = { add2, add5, add5, add2 };
+  for (int i = 0; i < 4; i++) ops[i]();
+  return acc;
+}""", 14)
+
+    def test_same_behaviour_on_hardware(self):
+        src = """
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void) {
+  struct node *head = 0;
+  for (int i = 1; i <= 4; i++) {
+    struct node *n = malloc(sizeof(struct node));
+    n->v = i * i;
+    n->next = head;
+    head = n;
+  }
+  int total = 0;
+  for (struct node *p = head; p; p = p->next) total += p->v;
+  return total;       /* 1+4+9+16 */
+}
+"""
+        assert run_abstract(src).exit_status == 30
+        assert run_hardware(src).exit_status == 30
+        assert run_hardware(src, opt=3).exit_status == 30

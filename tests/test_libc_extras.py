@@ -1,0 +1,116 @@
+"""The extended libc surface: string helpers and overlap semantics."""
+
+import pytest
+
+from repro.errors import OutcomeKind, UB
+from tests.conftest import run_abstract, run_hardware
+
+
+def expect_exit(src, status=0):
+    out = run_abstract(src)
+    assert out.kind is OutcomeKind.EXIT, (out.describe(), out.detail)
+    assert out.exit_status == status
+    return out
+
+
+class TestStringHelpers:
+    def test_strcat(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char buf[16] = "ab";
+  strcat(buf, "cd");
+  strcat(buf, "ef");
+  return strcmp(buf, "abcdef");
+}""")
+
+    def test_strncpy_pads_with_nul(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char dst[8];
+  strncpy(dst, "ab", 8);
+  for (int i = 2; i < 8; i++) if (dst[i] != 0) return 1;
+  return 0;
+}""")
+
+    def test_strchr_found_and_missing(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char s[8] = "hello";
+  if (strchr(s, 'l') != s + 2) return 1;
+  if (strchr(s, 'q') != 0) return 2;
+  if (strchr(s, 0) == 0) return 3;   /* finds the terminator? */
+  return 0;
+}""")
+
+    def test_memchr_bounded(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char s[8] = "abcabc";
+  if (memchr(s, 'c', 2) != 0) return 1;   /* stops at n */
+  if (memchr(s, 'c', 3) != s + 2) return 2;
+  return 0;
+}""")
+
+    def test_strcat_oob_is_caught(self):
+        out = run_abstract("""
+#include <string.h>
+int main(void) {
+  char tiny[4] = "ab";
+  strcat(tiny, "cdefgh");   /* overflows tiny */
+  return 0;
+}""")
+        assert out.kind is OutcomeKind.UNDEFINED
+
+    def test_capabilities_in_strings_stay_bounded(self):
+        """String functions inherit the caller's capability bounds: the
+        classic strcpy overflow is deterministically caught."""
+        src = """
+#include <string.h>
+int main(void) {
+  char dst[4];
+  strcpy(dst, "much too long");
+  return 0;
+}
+"""
+        assert run_abstract(src).kind is OutcomeKind.UNDEFINED
+        assert run_hardware(src).kind is OutcomeKind.TRAP
+
+
+class TestMemmoveOverlap:
+    def test_forward_overlap(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char b[10] = "abcdef";
+  memmove(b + 2, b, 4);
+  return strncmp(b, "ababcd", 6);
+}""")
+
+    def test_backward_overlap(self):
+        expect_exit("""
+#include <string.h>
+int main(void) {
+  char b[10] = "abcdef";
+  memmove(b, b + 2, 4);
+  return strncmp(b, "cdef", 4);
+}""")
+
+    def test_overlapping_capability_move(self):
+        """Aligned overlapped moves of capability arrays still preserve
+        tags (the snapshot semantics of S3.5 memcpy)."""
+        expect_exit("""
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a = 1, b = 2, c = 3;
+  int *arr[4] = { &a, &b, &c, 0 };
+  memmove(arr + 1, arr, 3 * sizeof(int*));
+  assert(cheri_tag_get(arr[1]) && cheri_tag_get(arr[2])
+         && cheri_tag_get(arr[3]));
+  return *arr[1] + *arr[2] + *arr[3] - 6;
+}""")

@@ -1,0 +1,111 @@
+"""Bulk operations: memcpy's capability preservation (S3.5), memcmp,
+memset."""
+
+import pytest
+
+from repro.ctypes import ArrayT, INT, LONG, Pointer, UCHAR
+from repro.errors import UB, UndefinedBehaviour
+from repro.memory import IntegerValue, MVInteger, MVPointer
+from repro.memory.allocation import AllocKind
+
+
+def liv(n):
+    return MVInteger(LONG, IntegerValue.of_int(n))
+
+
+@pytest.fixture
+def pointer_slots(model):
+    """Two pointer-sized slots, the first holding a valid capability."""
+    x = model.allocate_object(INT, AllocKind.STACK, "x")
+    src = model.allocate_object(Pointer(INT), AllocKind.STACK, "src")
+    dst = model.allocate_object(Pointer(INT), AllocKind.STACK, "dst")
+    model.store(Pointer(INT), src, MVPointer(Pointer(INT), x))
+    return x, src, dst
+
+
+class TestMemcpy:
+    def test_whole_capability_preserved(self, model, pointer_slots):
+        x, src, dst = pointer_slots
+        model.memcpy(dst, src, 16)
+        out = model.load(Pointer(INT), dst)
+        assert out.ptr.cap.tag
+        assert out.ptr.cap.ghost.is_clean
+        assert out.ptr.cap.equal_exact(x.cap)
+
+    def test_partial_capability_taints(self, model, pointer_slots):
+        x, src, dst = pointer_slots
+        model.store(Pointer(INT), dst, MVPointer(Pointer(INT), x))
+        model.memcpy(dst, src, 8)      # half a capability
+        out = model.load(Pointer(INT), dst)
+        assert out.ptr.cap.ghost.tag_unspecified
+
+    def test_misaligned_phase_taints(self, model):
+        t = ArrayT(elem=UCHAR, length=64)
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        src = model.allocate_object(Pointer(INT), AllocKind.STACK, "s")
+        model.store(Pointer(INT), src, MVPointer(Pointer(INT), x))
+        buf = model.allocate_object(t, AllocKind.STACK, "buf")
+        off = buf.with_cap(buf.cap.with_address(buf.address + 1))
+        model.memcpy(off, src, 16)     # misaligned destination
+        meta = model.state.capmeta_at(buf.address)
+        assert not meta.tag
+
+    def test_bounds_checked(self, model):
+        a = model.allocate_region(8)
+        b = model.allocate_region(8)
+        with pytest.raises(UndefinedBehaviour):
+            model.memcpy(a, b, 16)
+
+    def test_zero_length_unchecked(self, model):
+        a = model.allocate_region(8)
+        model.memcpy(a, model.null_pointer(), 0)   # no access, no UB
+
+    def test_hardware_clears_nonchunk_tags(self, hw_model):
+        x = hw_model.allocate_object(INT, AllocKind.STACK, "x")
+        src = hw_model.allocate_object(Pointer(INT), AllocKind.STACK, "s")
+        dst = hw_model.allocate_object(Pointer(INT), AllocKind.STACK, "d")
+        hw_model.store(Pointer(INT), src, MVPointer(Pointer(INT), x))
+        hw_model.store(Pointer(INT), dst, MVPointer(Pointer(INT), x))
+        hw_model.memcpy(dst, src, 8)
+        out = hw_model.load(Pointer(INT), dst)
+        assert not out.ptr.cap.tag
+
+
+class TestMemcmpMemset:
+    def test_memcmp_equal(self, model):
+        a = model.allocate_region(8)
+        b = model.allocate_region(8)
+        model.store(LONG, a, liv(7))
+        model.store(LONG, b, liv(7))
+        assert model.memcmp(a, b, 8) == 0
+
+    def test_memcmp_orders_bytes(self, model):
+        a = model.allocate_region(8)
+        b = model.allocate_region(8)
+        model.store(LONG, a, liv(1))
+        model.store(LONG, b, liv(2))
+        assert model.memcmp(a, b, 8) == -1
+        assert model.memcmp(b, a, 8) == 1
+
+    def test_memcmp_uninitialised_is_ub(self, model):
+        a = model.allocate_region(8)
+        b = model.allocate_region(8)
+        model.store(LONG, a, liv(1))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.memcmp(a, b, 8)
+        assert exc.value.ub is UB.READ_UNINITIALISED
+
+    def test_memset_fills(self, model):
+        a = model.allocate_region(8)
+        model.memset(a, 0xAB, 8)
+        for i in range(8):
+            assert model.state.read_byte(a.address + i).value == 0xAB
+
+    def test_memset_taints_capabilities(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        slot = model.allocate_object(Pointer(INT), AllocKind.STACK, "p")
+        model.store(Pointer(INT), slot, MVPointer(Pointer(INT), x))
+        model.memset(slot, 0, 16)
+        out = model.load(Pointer(INT), slot)
+        assert out.ptr.cap.ghost.tag_unspecified
+        assert out.ptr.cap.address == 0

@@ -1,0 +1,275 @@
+"""The memory object model: allocation, the S4.3 load/store rule, ghost
+state, and temporal behaviour."""
+
+import pytest
+
+from repro.capability.permissions import Permission
+from repro.ctypes import (
+    ArrayT, CHAR, Field, INT, INTPTR, LONG, Pointer, StructT, UCHAR,
+    UINTPTR, UnionT,
+)
+from repro.errors import (
+    CheriTrap, MemoryModelError, TrapKind, UB, UndefinedBehaviour,
+)
+from repro.memory import (
+    IntegerValue, MVArray, MVInteger, MVPointer, MVStruct, MVUnion,
+    MVUnspecified,
+)
+from repro.memory.allocation import AllocKind
+
+
+def iv(n: int) -> MVInteger:
+    return MVInteger(INT, IntegerValue.of_int(n))
+
+
+class TestAllocation:
+    def test_object_bounds_exact(self, model):
+        p = model.allocate_object(INT, AllocKind.STACK, "x")
+        assert p.cap.tag
+        assert p.cap.base == p.address
+        assert p.cap.length == 4
+
+    def test_fresh_object_is_unspecified(self, model):
+        p = model.allocate_object(INT, AllocKind.STACK, "x")
+        assert isinstance(model.load(INT, p), MVUnspecified)
+
+    def test_readonly_object_has_no_store_perms(self, model):
+        p = model.allocate_object(INT, AllocKind.GLOBAL, "c", readonly=True)
+        assert not p.cap.has_perm(Permission.STORE)
+        assert p.cap.has_perm(Permission.LOAD)
+
+    def test_region_padded_for_representability(self, model):
+        p = model.allocate_region(1000001)
+        assert p.cap.tag
+        assert p.cap.length >= 1000001
+        alloc = model.allocation_of(p)
+        assert alloc.cap_size >= p.cap.length
+
+    def test_function_allocation_is_sentry(self, model):
+        p = model.allocate_function("f")
+        assert p.cap.tag
+        assert p.cap.otype.is_sentry
+        assert p.cap.has_perm(Permission.EXECUTE)
+        assert not p.cap.has_perm(Permission.STORE)
+
+    def test_string_allocation(self, model):
+        p = model.allocate_string(b"hi")
+        v0 = model.load(CHAR, p)
+        assert v0.ival.value() == ord("h")
+
+    def test_stack_reuse_clears_stale_contents(self, model):
+        mark = model.stack_mark()
+        p = model.allocate_object(INT, AllocKind.STACK, "a")
+        model.store(INT, p, iv(7))
+        model.kill_allocation(p.prov.ident)
+        model.stack_release(mark)
+        q = model.allocate_object(INT, AllocKind.STACK, "b")
+        assert q.address == p.address
+        assert isinstance(model.load(INT, q), MVUnspecified)
+
+
+class TestLoadStoreRule:
+    def test_roundtrip_int(self, model):
+        p = model.allocate_object(INT, AllocKind.STACK, "x")
+        model.store(INT, p, iv(-42))
+        assert model.load(INT, p).ival.value() == -42
+
+    def test_roundtrip_pointer_preserves_everything(self, model):
+        x = model.allocate_object(LONG, AllocKind.STACK, "x")
+        slot = model.allocate_object(Pointer(LONG), AllocKind.STACK, "p")
+        model.store(Pointer(LONG), slot, MVPointer(Pointer(LONG), x))
+        out = model.load(Pointer(LONG), slot)
+        assert out.ptr.cap.equal_exact(x.cap)
+        assert out.ptr.prov == x.prov
+
+    def test_null_deref(self, model):
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, model.null_pointer())
+        assert exc.value.ub is UB.NULL_DEREFERENCE
+
+    def test_untagged_deref(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        bad = x.with_cap(x.cap.with_tag(False))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, bad)
+        assert exc.value.ub is UB.CHERI_INVALID_CAP
+
+    def test_ghost_tag_checked_before_tag(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        ghosted = x.with_cap(
+            x.cap.with_ghost(x.cap.ghost.with_tag_unspecified()))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, ghosted)
+        assert exc.value.ub is UB.CHERI_UNDEFINED_TAG
+
+    def test_bounds_violation(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        past = x.with_cap(x.cap.with_address(x.address + 4))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, past)
+        assert exc.value.ub is UB.CHERI_BOUNDS_VIOLATION
+
+    def test_permission_violation(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        ro = x.with_cap(x.cap.without_perms(Permission.STORE))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.store(INT, ro, iv(1))
+        assert exc.value.ub is UB.CHERI_INSUFFICIENT_PERMISSIONS
+
+    def test_sealed_deref(self, model):
+        from repro.capability.otype import OType
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        sealed = x.with_cap(x.cap.sealed_with(OType.user(0)))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, sealed)
+        assert exc.value.ub is UB.CHERI_INVALID_CAP
+
+    def test_write_to_const_allocation(self, model):
+        c = model.allocate_object(INT, AllocKind.GLOBAL, "c", readonly=True)
+        model.store(INT, c, iv(5), initialising=True)   # loader write OK
+        # A store via a capability that somehow kept STORE perm still
+        # violates the allocation's constness:
+        writable = c.with_cap(
+            model.arch.root_capability().set_bounds(c.address, 4)[0])
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.store(INT, writable, iv(6))
+        assert exc.value.ub is UB.WRITE_TO_CONST
+
+    def test_misaligned_capability_access(self, model):
+        buf = model.allocate_object(ArrayT(elem=UCHAR, length=64),
+                                    AllocKind.STACK, "buf")
+        off = buf.with_cap(buf.cap.with_address(buf.address + 1))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(Pointer(INT), off)
+        assert exc.value.ub is UB.MISALIGNED_ACCESS
+
+    def test_dead_allocation_access(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        model.store(INT, x, iv(5))
+        model.kill_allocation(x.prov.ident)
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, x)
+        assert exc.value.ub is UB.ACCESS_DEAD_ALLOCATION
+
+
+class TestRepresentationWrites:
+    """S3.5: non-capability writes over capabilities."""
+
+    def _stored_pointer(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        slot = model.allocate_object(Pointer(INT), AllocKind.STACK, "p")
+        model.store(Pointer(INT), slot, MVPointer(Pointer(INT), x))
+        return x, slot
+
+    def test_byte_write_makes_tag_unspecified(self, model):
+        x, slot = self._stored_pointer(model)
+        byte_view = slot.with_cap(slot.cap)
+        b = model.load(UCHAR, byte_view)
+        model.store(UCHAR, byte_view, b)
+        out = model.load(Pointer(INT), slot)
+        assert out.ptr.cap.ghost.tag_unspecified
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(INT, out.ptr)
+        assert exc.value.ub is UB.CHERI_UNDEFINED_TAG
+
+    def test_int_write_over_fresh_slot_is_determinate(self, model):
+        slot = model.allocate_object(INT, AllocKind.STACK, "i")
+        model.store(INT, slot, iv(7))
+        meta = model.state.capmeta_at(model.state.cap_align_down(
+            slot.address))
+        assert not meta.tag if meta else True
+
+    def test_partial_capability_read_is_ub012(self, model):
+        x, slot = self._stored_pointer(model)
+        # Overwrite the first 8 bytes with a long; remaining 8 bytes of
+        # the old capability stay -- then deallocate... simpler: store a
+        # long over half and read back at pointer type.
+        model.store(LONG, slot, MVInteger(LONG, IntegerValue.of_int(1)))
+        out = model.load(Pointer(INT), slot)   # bytes all specified
+        assert not out.ptr.cap.tag or out.ptr.cap.ghost.tag_unspecified
+
+    def test_hardware_byte_write_clears_tag(self, hw_model):
+        x, slot = self._stored_pointer(hw_model)
+        b = hw_model.load(UCHAR, slot)
+        hw_model.store(UCHAR, slot, b)
+        out = hw_model.load(Pointer(INT), slot)
+        assert not out.ptr.cap.tag
+        with pytest.raises(CheriTrap) as exc:
+            hw_model.load(INT, out.ptr)
+        assert exc.value.kind is TrapKind.TAG_VIOLATION
+
+
+class TestAggregates:
+    def test_struct_roundtrip(self, model):
+        s = StructT(tag="pt", fields=(Field("x", INT), Field("y", INT)))
+        p = model.allocate_object(s, AllocKind.STACK, "pt")
+        model.store(s, p, MVStruct(s, (("x", iv(1)), ("y", iv(2)))))
+        out = model.load(s, p)
+        assert out.member("x").ival.value() == 1
+        assert out.member("y").ival.value() == 2
+
+    def test_array_roundtrip(self, model):
+        t = ArrayT(elem=INT, length=3)
+        p = model.allocate_object(t, AllocKind.STACK, "a")
+        model.store(t, p, MVArray(t, (iv(1), iv(2), iv(3))))
+        out = model.load(t, p)
+        assert [e.ival.value() for e in out.elems] == [1, 2, 3]
+
+    def test_union_stores_active_member(self, model):
+        u = UnionT(tag="pun", fields=(
+            Field("p", Pointer(INT)), Field("i", INTPTR)))
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        pu = model.allocate_object(u, AllocKind.STACK, "u")
+        model.store(u, pu, MVUnion(u, active="p",
+                                   value=MVPointer(Pointer(INT), x)))
+        # Reading the other member sees the same capability (S3.4).
+        out = model.load(INTPTR, pu)
+        assert out.ival.cap is not None
+        assert out.ival.cap.equal_exact(x.cap)
+
+
+class TestFreeRealloc:
+    def test_free_then_access_is_ub(self, model):
+        p = model.allocate_region(16)
+        model.free(p)
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.load(UCHAR, p)
+        assert exc.value.ub is UB.ACCESS_DEAD_ALLOCATION
+
+    def test_double_free(self, model):
+        p = model.allocate_region(16)
+        model.free(p)
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.free(p)
+        assert exc.value.ub is UB.DOUBLE_FREE
+
+    def test_free_interior_pointer(self, model):
+        p = model.allocate_region(16)
+        inner = p.with_cap(p.cap.with_address(p.address + 4))
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.free(inner)
+        assert exc.value.ub is UB.FREE_NON_MATCHING
+
+    def test_free_stack_object(self, model):
+        x = model.allocate_object(INT, AllocKind.STACK, "x")
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.free(x)
+        assert exc.value.ub is UB.FREE_NON_MATCHING
+
+    def test_free_null_is_noop(self, model):
+        model.free(model.null_pointer())
+
+    def test_realloc_copies_and_kills(self, model):
+        p = model.allocate_region(8)
+        model.store(LONG, p, MVInteger(LONG, IntegerValue.of_int(11)))
+        q = model.realloc(p, 64)
+        assert q.address != p.address
+        assert model.load(LONG, q).ival.value() == 11
+        with pytest.raises(UndefinedBehaviour):
+            model.load(LONG, p)
+
+    def test_hardware_use_after_free_succeeds(self, hw_model):
+        p = hw_model.allocate_region(8)
+        hw_model.store(LONG, p, MVInteger(LONG, IntegerValue.of_int(9)))
+        hw_model.free(p)
+        assert hw_model.load(LONG, p).ival.value() == 9

@@ -1,0 +1,171 @@
+"""Pointer arithmetic (S3.2), comparisons (S3.6), and the PNVI-ae-udi
+pointer/integer conversions (S2.3, S3.3, S3.11)."""
+
+import pytest
+
+from repro.ctypes import ArrayT, IKind, INT, Pointer, UCHAR, VOID
+from repro.errors import UB, UndefinedBehaviour
+from repro.memory import IntegerValue, MVInteger
+from repro.memory.allocation import AllocKind
+from repro.memory.provenance import ProvKind
+
+
+@pytest.fixture
+def array(model):
+    t = ArrayT(elem=INT, length=4)
+    p = model.allocate_object(t, AllocKind.STACK, "a")
+    return p
+
+
+class TestArrayShift:
+    def test_within_bounds(self, model, array):
+        p2 = model.array_shift(array, INT, 2)
+        assert p2.address == array.address + 8
+        assert p2.cap.tag
+        assert p2.prov == array.prov
+
+    def test_one_past_allowed(self, model, array):
+        end = model.array_shift(array, INT, 4)
+        assert end.cap.tag
+
+    def test_beyond_one_past_is_ub(self, model, array):
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.array_shift(array, INT, 5)
+        assert exc.value.ub is UB.OUT_OF_BOUNDS_PTR_ARITH
+
+    def test_below_base_is_ub(self, model, array):
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.array_shift(array, INT, -1)
+        assert exc.value.ub is UB.OUT_OF_BOUNDS_PTR_ARITH
+
+    def test_null_plus_zero_ok(self, model):
+        null = model.null_pointer()
+        assert model.array_shift(null, INT, 0) is null
+
+    def test_null_plus_nonzero_ub(self, model):
+        with pytest.raises(UndefinedBehaviour):
+            model.array_shift(model.null_pointer(), INT, 1)
+
+    def test_dead_allocation_arith_is_ub(self, model, array):
+        model.kill_allocation(array.prov.ident)
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.array_shift(array, INT, 1)
+        assert exc.value.ub is UB.ACCESS_DEAD_ALLOCATION
+
+    def test_hardware_unchecked(self, hw_model):
+        t = ArrayT(elem=INT, length=4)
+        a = hw_model.allocate_object(t, AllocKind.STACK, "a")
+        far = hw_model.array_shift(a, INT, 100001)
+        assert not far.cap.tag       # representability limit
+        assert far.address == (a.address + 400004) & ((1 << 64) - 1)
+
+
+class TestComparisons:
+    def test_eq_is_address_only(self, model, array):
+        clone = array.with_cap(array.cap.with_tag(False))
+        assert model.eq(array, clone)
+
+    def test_relational_same_object(self, model, array):
+        hi = model.array_shift(array, INT, 3)
+        assert model.relational("<", array, hi)
+        assert model.relational(">=", hi, array)
+
+    def test_relational_different_provenance_ub(self, model):
+        a = model.allocate_object(INT, AllocKind.STACK, "a")
+        b = model.allocate_object(INT, AllocKind.STACK, "b")
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.relational("<", a, b)
+        assert exc.value.ub is UB.PTR_RELATIONAL_DIFFERENT_PROVENANCE
+
+    def test_diff_same_object(self, model, array):
+        hi = model.array_shift(array, INT, 3)
+        assert model.diff(hi, array, INT) == 3
+        assert model.diff(array, hi, INT) == -3
+
+    def test_diff_different_provenance_ub(self, model):
+        a = model.allocate_object(INT, AllocKind.STACK, "a")
+        b = model.allocate_object(INT, AllocKind.STACK, "b")
+        with pytest.raises(UndefinedBehaviour) as exc:
+            model.diff(a, b, INT)
+        assert exc.value.ub is UB.PTR_DIFF_DIFFERENT_PROVENANCE
+
+    def test_hardware_skips_provenance(self, hw_model):
+        a = hw_model.allocate_object(INT, AllocKind.STACK, "a")
+        b = hw_model.allocate_object(INT, AllocKind.STACK, "b")
+        assert hw_model.relational("<", b, a)  # stack grows down
+        assert hw_model.diff(a, b, UCHAR) == a.address - b.address
+
+
+class TestPtrIntCasts:
+    def test_to_intptr_carries_capability(self, model, array):
+        ival = model.ptr_to_int(array, IKind.INTPTR)
+        assert ival.cap is not None
+        assert ival.cap.equal_exact(array.cap)
+        assert ival.value() == array.address
+
+    def test_to_intptr_exposes(self, model, array):
+        assert not model.allocation_of(array).exposed
+        model.ptr_to_int(array, IKind.INTPTR)
+        assert model.allocation_of(array).exposed
+
+    def test_to_plain_int_truncates(self, model, array):
+        ival = model.ptr_to_int(array, IKind.UINT)
+        assert ival.cap is None
+        assert ival.value() == array.address & 0xFFFFFFFF
+
+    def test_roundtrip_keeps_provenance_and_cap(self, model, array):
+        ival = model.ptr_to_int(array, IKind.UINTPTR)
+        back = model.int_to_ptr(ival, INT)
+        assert back.cap.equal_exact(array.cap)
+        assert back.prov == array.prov
+        model.load(INT, model.array_shift(back, INT, 0))  # no exception?
+
+    def test_zero_int_gives_null(self, model):
+        p = model.int_to_ptr(IntegerValue.of_int(0), VOID)
+        assert p.is_null()
+
+    def test_plain_int_unexposed_empty_provenance(self, model, array):
+        p = model.int_to_ptr(IntegerValue.of_int(array.address), INT)
+        assert p.prov.is_empty
+        assert not p.cap.tag
+
+    def test_plain_int_exposed_gets_provenance(self, model, array):
+        model.ptr_to_int(array, IKind.PTRADDR)   # exposes
+        p = model.int_to_ptr(IntegerValue.of_int(array.address), INT)
+        assert p.prov == array.prov
+        assert not p.cap.tag                     # but never authority
+
+
+class TestUDI:
+    """User-disambiguation: boundary integers between exposed allocations."""
+
+    def _adjacent_globals(self, model):
+        a = model.allocate_object(ArrayT(elem=UCHAR, length=16),
+                                  AllocKind.GLOBAL, "a", align=16)
+        b = model.allocate_object(ArrayT(elem=UCHAR, length=16),
+                                  AllocKind.GLOBAL, "b", align=16)
+        if a.address + 16 != b.address:
+            pytest.skip("allocator did not place the globals adjacently")
+        model.ptr_to_int(a, IKind.PTRADDR)
+        model.ptr_to_int(b, IKind.PTRADDR)
+        return a, b
+
+    def test_boundary_integer_is_symbolic(self, model):
+        a, b = self._adjacent_globals(model)
+        p = model.int_to_ptr(IntegerValue.of_int(b.address), UCHAR)
+        assert p.prov.is_symbolic
+
+    def test_symbolic_resolves_on_access(self, model):
+        a, b = self._adjacent_globals(model)
+        p = model.int_to_ptr(IntegerValue.of_int(b.address), UCHAR)
+        p = p.with_cap(b.cap.with_address(b.address))  # give it authority
+        model.load(UCHAR, p)   # resolves to b (footprint check)
+        cands = model.state.iota_candidates(p.prov.ident)
+        assert cands == (b.prov.ident,)
+
+    def test_symbolic_resolves_by_arithmetic(self, model):
+        a, b = self._adjacent_globals(model)
+        p = model.int_to_ptr(IntegerValue.of_int(b.address), UCHAR)
+        # Shifting down into a's footprint is only valid for a.
+        down = model.array_shift(p, UCHAR, -2)
+        assert down.address == a.address + 14

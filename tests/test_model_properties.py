@@ -1,0 +1,178 @@
+"""Property tests over the memory object model.
+
+Random operation sequences must preserve the model's structural
+invariants: stored values read back exactly, capability tags exist only
+where capabilities were legitimately stored, allocations stay disjoint,
+and ghost state never resurrects authority.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capability import MORELLO
+from repro.ctypes import (
+    IKind, Integer, INT, LLONG, LONG, Pointer, SHORT, UCHAR, UINT,
+)
+from repro.errors import UndefinedBehaviour
+from repro.impls.registry import CERBERUS_MAP
+from repro.memory import (
+    IntegerValue, MemoryModel, Mode, MVInteger, MVPointer, MVUnspecified,
+)
+from repro.memory.allocation import AllocKind
+
+SCALARS = [UCHAR, SHORT, INT, UINT, LONG, LLONG]
+
+
+def fresh_model():
+    return MemoryModel(MORELLO, Mode.ABSTRACT, CERBERUS_MAP)
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_scalar_store_load_roundtrip(data):
+    """Any in-range value stored at any scalar type reads back equal."""
+    model = fresh_model()
+    ctype = data.draw(st.sampled_from(SCALARS))
+    kind: IKind = ctype.kind
+    value = data.draw(st.integers(model.layout.int_min(kind),
+                                  model.layout.int_max(kind)))
+    p = model.allocate_object(ctype, AllocKind.STACK, "v")
+    model.store(ctype, p, MVInteger(ctype, IntegerValue.of_int(value)))
+    out = model.load(ctype, p)
+    assert out.ival.value() == value
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_interleaved_allocations_stay_disjoint(data):
+    """Random mixed allocations never overlap (object footprints)."""
+    model = fresh_model()
+    spans = []
+    for _ in range(data.draw(st.integers(1, 25))):
+        kind = data.draw(st.sampled_from([AllocKind.STACK, AllocKind.HEAP,
+                                          AllocKind.GLOBAL]))
+        size = data.draw(st.integers(1, 5000))
+        if kind is AllocKind.HEAP:
+            p = model.allocate_region(size)
+        else:
+            from repro.ctypes import ArrayT
+            p = model.allocate_object(ArrayT(elem=UCHAR, length=size),
+                                      kind, "o")
+        alloc = model.allocation_of(p)
+        spans.append((alloc.cap_base, alloc.cap_base + alloc.cap_size))
+    spans.sort()
+    for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_tags_only_where_capabilities_stored(data):
+    """After random int/pointer stores, a set capmeta tag implies the
+    last write at that slot was a capability store."""
+    model = fresh_model()
+    from repro.ctypes import ArrayT
+    n_slots = 8
+    buf = model.allocate_object(
+        ArrayT(elem=Pointer(INT), length=n_slots), AllocKind.STACK, "buf")
+    target = model.allocate_object(INT, AllocKind.STACK, "x")
+    last_was_cap = [None] * n_slots
+    for _ in range(data.draw(st.integers(1, 30))):
+        slot = data.draw(st.integers(0, n_slots - 1))
+        addr = buf.address + slot * 16
+        loc = buf.with_cap(buf.cap.with_address(addr))
+        if data.draw(st.booleans()):
+            model.store(Pointer(INT), loc, MVPointer(Pointer(INT), target))
+            last_was_cap[slot] = True
+        else:
+            model.store(LONG, loc,
+                        MVInteger(LONG, IntegerValue.of_int(
+                            data.draw(st.integers(0, 2**63 - 1)))))
+            last_was_cap[slot] = False
+    for slot in range(n_slots):
+        meta = model.state.capmeta_at(buf.address + slot * 16)
+        # A *reliable* tag (set, ghost-clean) exists only where the last
+        # write was a capability store; a data overwrite leaves the tag
+        # bit unspecified rather than cleared (S3.5), so the raw bit may
+        # linger -- without conveying authority.
+        if meta.tag and meta.ghost.is_clean:
+            assert last_was_cap[slot] is True
+        if last_was_cap[slot] is True:
+            assert meta.tag and meta.ghost.is_clean
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_pointer_roundtrip_through_any_scalar_writes(data):
+    """A stored capability either reads back exactly, or -- after any
+    non-capability write overlapped it -- is no longer usable (tag or
+    ghost invalidated).  Authority never survives corruption."""
+    model = fresh_model()
+    x = model.allocate_object(INT, AllocKind.STACK, "x")
+    slot = model.allocate_object(Pointer(INT), AllocKind.STACK, "slot")
+    model.store(Pointer(INT), slot, MVPointer(Pointer(INT), x))
+    corrupted = False
+    for _ in range(data.draw(st.integers(0, 6))):
+        off = data.draw(st.integers(0, 15))
+        ctype = data.draw(st.sampled_from([UCHAR, SHORT, UINT]))
+        size = model.layout.int_size(ctype.kind)
+        if off + size > 16:
+            continue
+        loc = slot.with_cap(slot.cap.with_address(slot.address + off))
+        model.store(ctype, loc,
+                    MVInteger(ctype, IntegerValue.of_int(
+                        data.draw(st.integers(0, 200)))))
+        corrupted = True
+    try:
+        out = model.load(Pointer(INT), slot)
+    except UndefinedBehaviour:
+        assert corrupted    # partial representation: UB012 is fine
+        return
+    usable = (out.ptr.cap.tag and out.ptr.cap.ghost.is_clean)
+    if corrupted:
+        assert not usable
+    else:
+        assert usable
+        assert out.ptr.cap.equal_exact(x.cap)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_memcpy_equals_per_byte_content(data):
+    """memcpy moves exactly the bytes a per-byte copy would move."""
+    model = fresh_model()
+    n = data.draw(st.integers(1, 64))
+    src = model.allocate_region(n)
+    dst = model.allocate_region(n)
+    payload = data.draw(st.binary(min_size=n, max_size=n))
+    for i, b in enumerate(payload):
+        loc = src.with_cap(src.cap.with_address(src.address + i))
+        model.store(UCHAR, loc, MVInteger(UCHAR, IntegerValue.of_int(b)))
+    model.memcpy(dst, src, n)
+    for i in range(n):
+        loc = dst.with_cap(dst.cap.with_address(dst.address + i))
+        out = model.load(UCHAR, loc)
+        assert out.ival.value() == payload[i]
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dead_allocations_never_resurrect(data):
+    """Once killed, an allocation rejects access forever, regardless of
+    intervening allocations (even at a reused address)."""
+    model = fresh_model()
+    victims = []
+    mark = model.stack_mark()
+    for _ in range(data.draw(st.integers(1, 8))):
+        p = model.allocate_object(INT, AllocKind.STACK, "v")
+        model.store(INT, p, MVInteger(INT, IntegerValue.of_int(1)))
+        victims.append(p)
+    for p in victims:
+        model.kill_allocation(p.prov.ident)
+    model.stack_release(mark)
+    model.allocate_object(INT, AllocKind.STACK, "new")
+    for p in victims:
+        with pytest.raises(UndefinedBehaviour):
+            model.load(INT, p)

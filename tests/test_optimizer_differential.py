@@ -1,0 +1,116 @@
+"""Differential testing of the modelled optimiser: on *well-defined*
+programs, every optimisation level must agree with the abstract machine
+(optimisations may only exploit UB, never change defined behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutcomeKind
+from repro.impls import CERBERUS, by_name
+
+O0 = by_name("clang-morello-O0")
+O3 = by_name("clang-morello-O3")
+
+
+@st.composite
+def defined_programs(draw):
+    """Random well-defined programs: straight-line integer/array/pointer
+    code with in-bounds accesses and a loop or two."""
+    n = draw(st.integers(2, 6))
+    lines = [
+        "#include <stdint.h>",
+        "int main(void) {",
+        f"  int a[{n}];",
+        f"  for (int i = 0; i < {n}; i++) a[i] = i + 1;",
+        "  int acc = 0;",
+        "  int t = 0;",
+    ]
+    stmts = draw(st.integers(2, 8))
+    for _ in range(stmts):
+        kind = draw(st.integers(0, 6))
+        if kind == 0:
+            idx = draw(st.integers(0, n - 1))
+            lines.append(f"  acc += a[{idx}];")
+        elif kind == 1:
+            c = draw(st.integers(-50, 50))
+            lines.append(f"  t = acc + {c};")
+        elif kind == 2:
+            lines.append("  acc += t;")
+        elif kind == 3:
+            idx = draw(st.integers(0, n - 1))
+            lines.append(f"  {{ int *p = a + {idx}; acc += *p; }}")
+        elif kind == 4:
+            a_off = draw(st.integers(0, n))
+            b_off = draw(st.integers(0, a_off))
+            lines.append(f"  {{ int *p = a + {a_off} - {b_off};"
+                         f" acc += p == a ? 1 : 2; }}")
+        elif kind == 5:
+            bound = draw(st.integers(0, n))
+            lines.append(f"  for (int i = 0; i < {bound}; i++)"
+                         " acc += a[i];")
+        else:
+            idx = draw(st.integers(0, n - 1))
+            lines.append(f"  a[{idx}] = a[{idx}] + t;")
+        # Keep values bounded so signed overflow cannot occur.
+        lines.append("  acc &= 0xffff;")
+        lines.append("  t &= 0xff;")
+    lines.append("  return acc & 127;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@given(src=defined_programs())
+@settings(max_examples=80, deadline=None)
+def test_optimisation_preserves_defined_behaviour(src):
+    oracle = CERBERUS.run(src)
+    assert oracle.kind is OutcomeKind.EXIT, (oracle.describe(),
+                                             oracle.detail, src)
+    for impl in (O0, O3):
+        got = impl.run(src)
+        assert got.kind is OutcomeKind.EXIT, (impl.name, got.describe(),
+                                              got.detail, src)
+        assert got.exit_status == oracle.exit_status, (impl.name, src)
+
+
+@st.composite
+def byte_copy_programs(draw):
+    """Programs copying pointer representations in the ways S3.5 cares
+    about; the optimiser must keep defined copies working."""
+    use_memcpy = draw(st.booleans())
+    if use_memcpy:
+        body = "  memcpy(&dst, &src, sizeof(int*));"
+    else:
+        body = ("  for (int i = 0; i < (int)sizeof(int*); i++)\n"
+                "    ((unsigned char*)&dst)[i]"
+                " = ((unsigned char*)&src)[i];")
+    check = draw(st.sampled_from([
+        "return dst == src ? 0 : 1;",            # address compare: defined
+        "return (int)((uintptr_t)dst & 1);",      # address use: defined
+    ]))
+    return f"""
+#include <string.h>
+#include <stdint.h>
+int main(void) {{
+  int x = 3;
+  int *src = &x;
+  int *dst;
+{body}
+  {check}
+}}
+"""
+
+
+@given(src=byte_copy_programs())
+@settings(max_examples=40, deadline=None)
+def test_representation_copies_defined_uses_agree(src):
+    """Uses that S3.5 keeps defined (address comparison/inspection of a
+    byte-copied pointer) agree across optimisation levels."""
+    oracle = CERBERUS.run(src)
+    assert oracle.kind is OutcomeKind.EXIT, (oracle.describe(),
+                                             oracle.detail)
+    for impl in (O0, O3):
+        got = impl.run(src)
+        assert got.kind is OutcomeKind.EXIT
+        assert got.exit_status == oracle.exit_status, (impl.name, src)

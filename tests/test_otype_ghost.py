@@ -1,0 +1,67 @@
+"""Object types, sealing values, and ghost-state algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capability.ghost import GhostState
+from repro.capability.otype import OType
+
+
+class TestOType:
+    def test_unsealed(self):
+        o = OType.unsealed()
+        assert o.is_unsealed and not o.is_sealed
+        assert o.describe() == "unsealed"
+
+    def test_sentry(self):
+        o = OType.sentry()
+        assert o.is_sealed and o.is_sentry and o.is_reserved
+        assert o.describe() == "sentry"
+
+    def test_user_otypes_start_after_reserved(self):
+        o = OType.user(0)
+        assert o.value == OType.FIRST_USER
+        assert o.is_sealed and not o.is_reserved
+        assert "otype(" in o.describe()
+
+    def test_user_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OType.user(-1)
+
+    def test_reserved_values(self):
+        assert OType(OType.LOAD_PAIR_BRANCH_VALUE).is_reserved
+        assert OType(OType.LOAD_BRANCH_VALUE).is_reserved
+        assert "reserved" in OType(2).describe()
+
+
+class TestGhostState:
+    def test_clean(self):
+        g = GhostState.clean()
+        assert g.is_clean
+        assert g.describe() == "clean"
+
+    def test_bits_are_sticky_through_merge(self):
+        g1 = GhostState().with_tag_unspecified()
+        g2 = GhostState().with_bounds_unspecified()
+        merged = g1.merge(g2)
+        assert merged.tag_unspecified and merged.bounds_unspecified
+        assert merged.describe() == "tag?,bounds?"
+
+    def test_merge_with_clean_is_identity(self):
+        g = GhostState(True, False)
+        assert g.merge(GhostState.clean()) == g
+        assert GhostState.clean().merge(g) == g
+
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_merge_is_commutative_and_monotone(self, a, b, c, d):
+        g1, g2 = GhostState(a, b), GhostState(c, d)
+        assert g1.merge(g2) == g2.merge(g1)
+        m = g1.merge(g2)
+        assert m.tag_unspecified >= g1.tag_unspecified
+        assert m.bounds_unspecified >= g2.bounds_unspecified
+
+    def test_immutable(self):
+        g = GhostState()
+        g2 = g.with_tag_unspecified()
+        assert not g.tag_unspecified
+        assert g2.tag_unspecified

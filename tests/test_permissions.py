@@ -1,0 +1,82 @@
+"""Permission sets: monotonicity and the portable base set."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capability.permissions import (
+    BASE_PERMISSIONS, Permission, PermissionSet,
+)
+
+perm_sets = st.frozensets(st.sampled_from(list(Permission)))
+
+
+class TestBasics:
+    def test_base_set_present_on_all_architectures(self):
+        from repro.capability import CHERIOT, MORELLO
+        # Morello exposes the complete base set; the embedded profile
+        # compresses some bits away but keeps the data/exec core.
+        assert BASE_PERMISSIONS <= set(MORELLO.perm_order)
+        core = {Permission.GLOBAL, Permission.LOAD, Permission.STORE,
+                Permission.EXECUTE, Permission.LOAD_CAP,
+                Permission.STORE_CAP}
+        assert core <= set(CHERIOT.perm_order)
+
+    def test_of_and_contains(self):
+        ps = PermissionSet.of(Permission.LOAD, Permission.STORE)
+        assert Permission.LOAD in ps
+        assert Permission.EXECUTE not in ps
+        assert len(ps) == 2
+
+    def test_has_requires_all(self):
+        ps = PermissionSet.of(Permission.LOAD, Permission.STORE)
+        assert ps.has(Permission.LOAD)
+        assert ps.has(Permission.LOAD, Permission.STORE)
+        assert not ps.has(Permission.LOAD, Permission.EXECUTE)
+
+    def test_empty(self):
+        assert len(PermissionSet.empty()) == 0
+        assert not PermissionSet.empty().has(Permission.LOAD)
+
+    def test_describe_order(self):
+        ps = PermissionSet.of(Permission.STORE_CAP, Permission.LOAD,
+                              Permission.STORE, Permission.LOAD_CAP)
+        assert ps.describe() == "rwRW"
+
+    def test_describe_includes_execute(self):
+        ps = PermissionSet.of(Permission.EXECUTE, Permission.LOAD)
+        assert ps.describe() == "rx"
+
+    def test_iteration_is_sorted_and_stable(self):
+        ps = PermissionSet.of(Permission.STORE, Permission.LOAD)
+        assert list(ps) == list(ps)
+
+
+class TestMonotonicity:
+    @given(perm_sets, perm_sets)
+    def test_intersect_is_subset_of_both(self, a, b):
+        pa, pb = PermissionSet(a), PermissionSet(b)
+        inter = pa.intersect(pb)
+        assert inter.is_subset_of(pa)
+        assert inter.is_subset_of(pb)
+
+    @given(perm_sets, st.frozensets(st.sampled_from(list(Permission))))
+    def test_without_never_adds(self, a, drop):
+        pa = PermissionSet(a)
+        reduced = pa.without(*drop)
+        assert reduced.is_subset_of(pa)
+        for p in drop:
+            assert p not in reduced
+
+    @given(perm_sets)
+    def test_intersect_with_self_is_identity(self, a):
+        pa = PermissionSet(a)
+        assert pa.intersect(pa) == pa
+
+    @given(perm_sets, perm_sets)
+    def test_no_way_to_regain(self, a, b):
+        """Composing any sequence of narrowing ops never exceeds the
+        original set (the CHERI monotonicity property at this layer)."""
+        pa = PermissionSet(a)
+        pb = PermissionSet(b)
+        chained = pa.intersect(pb).intersect(pa).without(Permission.LOAD)
+        assert chained.is_subset_of(pa)

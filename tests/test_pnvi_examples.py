@@ -1,0 +1,216 @@
+"""The classic pointer-provenance examples, under CHERI C.
+
+These programs are adapted from the PNVI litmus tests of "Exploring C
+Semantics and Pointer Provenance" (the paper's [28]) -- the examples the
+PNVI-ae-udi model was designed around.  Under CHERI C each keeps its
+PNVI verdict, with the extra twist that integer-derived pointers carry
+provenance but never authority (S3.11: the checks are complementary).
+"""
+
+import pytest
+
+from repro.errors import OutcomeKind, UB
+from repro.impls import CERBERUS, by_name
+
+
+def run(src):
+    return CERBERUS.run(src)
+
+
+class TestProvenanceBasics:
+    def test_provenance_basic_using_wrong_object(self):
+        """The DR260 classic: adjacent objects, pointer arithmetic from
+        one to the other's address.  UB under PNVI -- and under CHERI C
+        already at the arithmetic (strict ISO rule)."""
+        out = run("""
+int x = 1, y = 2;
+int main(void) {
+  int *p = &x + 1;      /* may equal &y */
+  int *q = &y;
+  if ((char*)p == (char*)q) {
+    *p = 11;            /* provenance of x: not a valid access to y */
+    return y;
+  }
+  return 2;
+}
+""")
+        # Either the addresses differ (exit 2) or the access is UB.
+        assert out.kind is OutcomeKind.UNDEFINED or out.exit_status == 2
+
+    def test_pointer_copy_via_memcpy_keeps_provenance(self):
+        out = run("""
+#include <string.h>
+int main(void) {
+  int x = 7;
+  int *p = &x;
+  int *q;
+  memcpy(&q, &p, sizeof p);
+  *q = 11;              /* provenance (and capability) carried */
+  return x;
+}
+""")
+        assert out.exit_status == 11
+
+    def test_pointer_offset_from_int_subtraction(self):
+        """Computing an offset between objects via integers is defined
+        as integer arithmetic; using it to jump objects gives a pointer
+        without authority."""
+        out = run("""
+#include <stdint.h>
+int main(void) {
+  int x = 1, y = 2;
+  uintptr_t ux = (uintptr_t)&x;
+  uintptr_t uy = (uintptr_t)&y;
+  uintptr_t offset = uy - ux;          /* defined: integers */
+  int *p = (int *)(ux + offset);       /* address of y, authority of x */
+  *p = 11;
+  return y;
+}
+""")
+        # The capability is x's; y's address is outside its bounds.
+        assert out.kind is OutcomeKind.UNDEFINED
+        assert out.ub in (UB.CHERI_BOUNDS_VIOLATION,
+                          UB.CHERI_UNDEFINED_TAG)
+
+    def test_roundtrip_via_intptr_is_fine(self):
+        out = run("""
+#include <stdint.h>
+int main(void) {
+  int x = 5;
+  intptr_t i = (intptr_t)&x;
+  int *p = (int *)i;
+  *p = 6;
+  return x;
+}
+""")
+        assert out.exit_status == 6
+
+    def test_exposed_integer_roundtrip_lacks_authority(self):
+        """PNVI-ae gives the rebuilt pointer x's provenance; CHERI denies
+        the access anyway (no tag): provenance recovered, authority not."""
+        out = run("""
+#include <stdint.h>
+int main(void) {
+  int x = 5;
+  ptraddr_t a = (ptraddr_t)&x;    /* exposes x */
+  int *p = (int *)(uintptr_t)a;
+  *p = 6;
+  return x;
+}
+""")
+        assert out.ub is UB.CHERI_INVALID_CAP
+
+
+class TestAllocationLifetime:
+    def test_pointer_to_dead_stack_frame(self):
+        out = run("""
+int *f(void) {
+  int local = 5;
+  int *p = &local;
+  return p;
+}
+int main(void) {
+  int *p = f();
+  return *p;
+}
+""")
+        assert out.ub is UB.ACCESS_DEAD_ALLOCATION
+
+    def test_equality_of_recycled_address(self):
+        """PNVI: a dangling pointer and a fresh object at the same
+        address compare == (addresses), though provenance differs."""
+        out = run("""
+#include <stdint.h>
+int *stale;
+void make_stale(void) {
+  int local;
+  stale = &local;
+}
+int probe(void) {
+  int fresh = 1;
+  /* Same stack slot as `local` (same frame shape). */
+  return stale == &fresh;
+}
+int main(void) {
+  make_stale();
+  return probe();
+}
+""")
+        assert out.kind is OutcomeKind.EXIT
+        assert out.exit_status == 1     # addresses reused: equal
+
+    def test_no_use_after_scope_even_when_recycled(self):
+        out = run("""
+int *stale;
+void make_stale(void) {
+  int local = 7;
+  stale = &local;
+}
+void recycle(void) {
+  int fresh = 9;
+  (void)fresh;
+}
+int main(void) {
+  make_stale();
+  recycle();
+  return *stale;
+}
+""")
+        assert out.ub is UB.ACCESS_DEAD_ALLOCATION
+
+
+class TestExposure:
+    def test_unexposed_allocation_is_unreachable_by_integer(self):
+        out = run("""
+#include <stdint.h>
+int main(void) {
+  int target = 42;
+  int probe;
+  /* Expose only `probe`; derive target's address arithmetically. */
+  uintptr_t up = (uintptr_t)&probe;
+  int *guess = (int *)(up + 16);
+  return *guess;
+}
+""")
+        assert out.kind is OutcomeKind.UNDEFINED
+
+    def test_representation_read_exposes(self):
+        """Reading a pointer's bytes at integer type is an exposure
+        (the load rule's expose step)."""
+        out = run("""
+#include <stdint.h>
+int main(void) {
+  int x = 3;
+  int *p = &x;
+  /* Examine p's representation as integers: exposes x. */
+  uint64_t lo = *(uint64_t *)&p;
+  /* An integer-built pointer now gets x's provenance... */
+  int *q = (int *)(uintptr_t)(ptraddr_t)lo;
+  /* ...but of course no tag. == still works (addresses). */
+  return q == p ? 0 : 1;
+}
+""")
+        assert out.exit_status == 0
+
+    def test_one_past_boundary_disambiguation(self):
+        """The udi case: an integer equal to one-past x / start of y is
+        usable for either, decided at first use."""
+        out = run("""
+#include <stdint.h>
+#include <string.h>
+int main(void) {
+  static unsigned char a[16];
+  static unsigned char b[16];
+  ptraddr_t pa = (ptraddr_t)&a;     /* expose both */
+  ptraddr_t pb = (ptraddr_t)&b;
+  if (pb != pa + 16) return 0;      /* not adjacent: vacuous */
+  unsigned char *cursor = (unsigned char *)(uintptr_t)pb;
+  /* Using it as b's start is the valid disambiguation; still no
+     authority, so the access must be rejected by the tag check,
+     not by provenance. */
+  *cursor = 1;
+  return 9;
+}
+""")
+        assert (out.kind is OutcomeKind.EXIT and out.exit_status == 0) or \
+            out.ub is UB.CHERI_INVALID_CAP

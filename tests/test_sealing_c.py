@@ -1,0 +1,185 @@
+"""Sealing at the C level (S2.1): seal/unseal intrinsics, sealcap
+authority, sentries, and the immutability/unusability guarantees."""
+
+import pytest
+
+from repro.errors import OutcomeKind, TrapKind, UB
+from repro.impls import CERBERUS, by_name
+
+HW = "clang-morello-O0"
+
+
+class TestSealUnseal:
+    def test_roundtrip(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int secret = 42;
+  void *auth = cheri_sealcap_get();
+  int *sealed = cheri_seal(&secret, auth);
+  assert(cheri_tag_get(sealed));
+  assert(cheri_is_sealed(sealed));
+  int *back = cheri_unseal(sealed, auth);
+  assert(!cheri_is_sealed(back));
+  return *back - 42;
+}
+"""
+        assert CERBERUS.run(src).ok
+        assert by_name(HW).run(src).ok
+
+    def test_sealed_is_unusable_for_access(self):
+        src = """
+#include <cheriintrin.h>
+int main(void) {
+  int x = 1;
+  int *sealed = cheri_seal(&x, cheri_sealcap_get());
+  return *sealed;
+}
+"""
+        out = CERBERUS.run(src)
+        assert out.ub is UB.CHERI_INVALID_CAP
+        hw = by_name(HW).run(src)
+        assert hw.trap is TrapKind.SEAL_VIOLATION
+
+    def test_sealed_is_immutable(self):
+        """Modifying a sealed capability's address clears the tag."""
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int a[2];
+  int *sealed = cheri_seal(a, cheri_sealcap_get());
+  int *moved = sealed + 1;      /* arithmetic on sealed: detag */
+  assert(!cheri_tag_get(moved));
+  return 0;
+}
+"""
+        assert by_name(HW).run(src).ok
+
+    def test_unseal_with_wrong_otype_detags(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  void *auth = cheri_sealcap_get();
+  int *sealed = cheri_seal(&x, auth);
+  void *wrong = cheri_address_set(auth, cheri_address_get(auth) + 1);
+  int *bad = cheri_unseal(sealed, wrong);
+  assert(!cheri_tag_get(bad));
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+
+    def test_seal_without_authority_detags(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  /* A data pointer has no Seal permission. */
+  int y;
+  int *fake_auth = &y;
+  int *sealed = cheri_seal(&x, fake_auth);
+  assert(!cheri_tag_get(sealed));
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+
+    def test_sealed_survives_memory_roundtrip(self):
+        """Sealed capabilities can be stored/loaded (monotonicity applies
+        to use, not to storage)."""
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int *slot;
+int main(void) {
+  int x;
+  slot = cheri_seal(&x, cheri_sealcap_get());
+  assert(cheri_is_sealed(slot));
+  assert(cheri_tag_get(slot));
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+        assert by_name(HW).run(src).ok
+
+
+class TestSentries:
+    def test_sentry_create(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  int x;
+  int *e = cheri_sentry_create(&x);
+  assert(cheri_is_sentry(e));
+  assert(cheri_is_sealed(e));
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+
+    def test_function_pointers_already_sentries(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int f(void) { return 7; }
+int main(void) {
+  int (*p)(void) = f;
+  assert(cheri_is_sentry(p));
+  return p() - 7;   /* branching to a sentry implicitly unseals */
+}
+"""
+        assert CERBERUS.run(src).ok
+        assert by_name(HW).run(src).ok
+
+
+class TestSealcap:
+    def test_sealcap_properties(self):
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+  void *auth = cheri_sealcap_get();
+  assert(cheri_tag_get(auth));
+  assert(!cheri_is_sealed(auth));
+  /* Its address range is the software otype space, above the
+     hardware-reserved otypes. */
+  assert(cheri_address_get(auth) >= 4);
+  assert(cheri_length_get(auth) > 0);
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+
+    def test_compartment_handoff_pattern(self):
+        """The classic use: seal a pointer before handing it to untrusted
+        code; only the holder of the authority can use it."""
+        src = """
+#include <cheriintrin.h>
+#include <assert.h>
+/* "untrusted" code: receives an opaque handle */
+int untrusted_peek(int *handle) {
+  if (!cheri_is_sealed(handle)) return -1;
+  /* it cannot dereference; it can only hand it back */
+  return 0;
+}
+int trusted_use(int *handle, void *auth) {
+  int *p = cheri_unseal(handle, auth);
+  return *p;
+}
+int main(void) {
+  int secret = 9;
+  void *auth = cheri_sealcap_get();
+  int *handle = cheri_seal(&secret, auth);
+  assert(untrusted_peek(handle) == 0);
+  assert(trusted_use(handle, auth) == 9);
+  return 0;
+}
+"""
+        assert CERBERUS.run(src).ok
+        assert by_name(HW).run(src).ok

@@ -1,0 +1,83 @@
+"""The 94-test validation suite: Table 1 accounting and per-test
+conformance on every implementation (the S5 experiment as a test)."""
+
+import pytest
+
+from repro.memory.model import Mode
+from repro.impls import ALL_IMPLEMENTATIONS
+from repro.testsuite.case import TestCase as SuiteCase
+from repro.testsuite.categories import CATEGORIES, Category, TOTAL_TESTS
+from repro.testsuite.suite import (
+    all_cases, cases_by_category, table1_counts, validate_suite,
+)
+
+CASES = all_cases()
+
+
+class TestTable1:
+    def test_total_is_94(self):
+        assert len(CASES) == TOTAL_TESTS == 94
+
+    def test_category_counts_match_paper_exactly(self):
+        counts = table1_counts()
+        for category, (want, _desc) in CATEGORIES.items():
+            assert counts[category] == want, category
+
+    def test_validate_suite(self):
+        validate_suite()
+
+    def test_tag_slots_sum_to_222(self):
+        assert sum(len(set(c.categories)) for c in CASES) == 222
+
+    def test_every_category_described(self):
+        for category in Category:
+            count, desc = CATEGORIES[category]
+            assert count > 0 and desc
+
+    def test_cases_by_category(self):
+        one_past = cases_by_category(Category.ONE_PAST)
+        assert len(one_past) == 1
+        assert one_past[0].name == "one-past-construct-and-bounds"
+
+    def test_case_names_unique_and_sources_nonempty(self):
+        names = [c.name for c in CASES]
+        assert len(set(names)) == len(names)
+        for case in CASES:
+            assert "int main" in case.source, case.name
+            assert case.description, case.name
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteCase(name="x", categories=(), source="", expect=None)
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_case_on_reference(case):
+    """Every suite program has its expected outcome on the executable
+    semantics (the paper: 'it passes all our tests')."""
+    from repro.impls import CERBERUS
+    outcome = CERBERUS.run(case.source)
+    expected = case.expected_for("cerberus", is_hardware=False, opt_level=0)
+    assert expected.check(outcome), (
+        f"{case.name}: expected {expected.describe()}, "
+        f"got {outcome.describe()} [{outcome.detail}]")
+
+
+@pytest.mark.parametrize(
+    "impl", ALL_IMPLEMENTATIONS, ids=[i.name for i in ALL_IMPLEMENTATIONS])
+def test_suite_against_implementation(impl):
+    """The S5 cross-implementation conformance run: no implementation
+    violates any claim the suite makes about it."""
+    failures = []
+    for case in CASES:
+        expected = case.expected_for(
+            impl.name, is_hardware=impl.mode is Mode.HARDWARE,
+            opt_level=impl.opt_level)
+        if expected is None:
+            continue
+        outcome = impl.run(case.source)
+        if not expected.check(outcome):
+            failures.append(
+                f"{case.name}: expected {expected.describe()}, got "
+                f"{outcome.describe()} [{outcome.detail}]")
+    assert not failures, "\n".join(failures)
