@@ -1,0 +1,9 @@
+"""``python -m repro``: the same entry point as the ``repro``/
+``cheri-run`` console scripts."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

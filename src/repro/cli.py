@@ -1,4 +1,5 @@
-"""``cheri-run``: run CHERI C programs and regenerate the paper reports.
+"""``cheri-run``/``repro``: run CHERI C programs, regenerate the paper
+reports, and drive the differential fuzzer.
 
 Usage::
 
@@ -8,6 +9,8 @@ Usage::
     cheri-run --report table1        # regenerate Table 1
     cheri-run --report compliance    # the S5 comparison
     cheri-run --list                 # list known implementations
+    repro fuzz --seed 0 --iterations 200
+    repro fuzz --seed 0 --time-budget 30 --corpus-dir tests/corpus
 """
 
 from __future__ import annotations
@@ -18,7 +21,60 @@ import sys
 from repro.impls import ALL_IMPLEMENTATIONS, by_name
 
 
+def fuzz_main(argv: list[str]) -> int:
+    """The ``fuzz`` subcommand: differential fuzzing of the registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Generate random CHERI C programs, run them on every "
+                    "registered implementation, and classify every "
+                    "divergence against the executable semantics")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default: 0)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="number of programs to generate "
+                             "(default: 100 unless --time-budget is given)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop generating after this many seconds")
+    parser.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="write minimized finding cases to this "
+                             "regression-corpus directory")
+    parser.add_argument("--save-known", action="store_true",
+                        help="also write minimized known-cause divergence "
+                             "cases to the corpus directory")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-iteration progress output")
+    args = parser.parse_args(argv)
+
+    from repro.fuzz import run_fuzz
+    from repro.reporting.tables import render_fuzz_summary
+
+    def progress(index: int, report) -> None:
+        if not args.quiet and index % 25 == 0:
+            print(f"  ... {index} programs, "
+                  f"{report.divergence_total} divergences so far",
+                  file=sys.stderr)
+
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        save_known=args.save_known,
+        progress=progress)
+    print(render_fuzz_summary(report), end="")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
+    return _run_main(argv)
+
+
+def _run_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="cheri-run",
         description="Run a CHERI C program under the executable semantics")

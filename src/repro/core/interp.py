@@ -138,6 +138,10 @@ class Interpreter:
             if fdef is None or fdef.body is None:
                 return Outcome.frontend_error(f"no function {main!r}")
             result = self.call_function(fdef, [])
+            if isinstance(result, MVUnspecified):
+                # S3.5: ghost state reached main's return value; there is
+                # no single correct concrete exit status.
+                return Outcome.exited_unspecified(self.out.getvalue())
             status = 0
             if result is not None and isinstance(result, MVInteger):
                 status = self.layout.wrap(IKind.INT, result.ival.value())

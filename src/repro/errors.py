@@ -202,10 +202,19 @@ class Outcome:
     trap: TrapKind | None = None
     detail: str = ""
     stdout: str = ""
+    #: The run completed but its exit status is an *unspecified value*
+    #: (S3.5 ghost state reaching ``return`` from ``main``); any concrete
+    #: status a real implementation produces is consistent with it.
+    unspecified: bool = False
 
     @classmethod
     def exited(cls, status: int, stdout: str = "") -> "Outcome":
         return cls(kind=OutcomeKind.EXIT, exit_status=status, stdout=stdout)
+
+    @classmethod
+    def exited_unspecified(cls, stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.EXIT, exit_status=0, stdout=stdout,
+                   unspecified=True)
 
     @classmethod
     def undefined(cls, ub: UB, detail: str = "", stdout: str = "") -> "Outcome":
@@ -234,6 +243,8 @@ class Outcome:
     def describe(self) -> str:
         """One-line human-readable description, stable for reports."""
         if self.kind is OutcomeKind.EXIT:
+            if self.unspecified:
+                return "exit unspecified"
             return f"exit {self.exit_status}"
         if self.kind is OutcomeKind.UNDEFINED:
             return f"UB {self.ub}"

@@ -1,0 +1,56 @@
+"""Differential fuzzing of the CHERI C implementations (S7's oracle loop).
+
+The paper's S7 observes that an *executable* semantics can serve as a
+test oracle for randomly generated programs, removing the need to curate
+intended results by hand.  This package industrialises that loop for the
+whole implementation registry:
+
+* :mod:`repro.fuzz.generator` -- a seeded, reproducible generator of
+  well-typed programs in the supported C subset, weighted toward the
+  provenance- and representability-sensitive shapes of S5/Table 1;
+* :mod:`repro.fuzz.oracle` -- the differential oracle: every generated
+  program runs on every registered implementation plus the strict and
+  permissive memory-model modes, and each divergence from the reference
+  outcome is either explained by a *known cause* (address-map-dependent
+  masking, capability format, bounds-setting mode, UB licence, memory
+  -model mode) or flagged as a finding;
+* :mod:`repro.fuzz.shrinker` -- AST-level minimisation of any divergent
+  or crashing program while preserving the failure signature;
+* :mod:`repro.fuzz.corpus` -- the ``tests/corpus/`` regression corpus:
+  minimized cases with their recorded per-implementation outcomes,
+  replayed by pytest on every run;
+* :mod:`repro.fuzz.driver` -- the iteration loop behind
+  ``repro fuzz --seed N --iterations K --time-budget S``.
+"""
+
+from repro.fuzz.corpus import CorpusCase, load_case, load_corpus, save_case
+from repro.fuzz.driver import FuzzReport, run_fuzz
+from repro.fuzz.generator import FuzzProgram, FuzzStmt, ProgramGenerator
+from repro.fuzz.oracle import (
+    Cause,
+    Divergence,
+    FUZZ_TARGETS,
+    ProgramVerdict,
+    evaluate_program,
+    outcome_signature,
+)
+from repro.fuzz.shrinker import shrink
+
+__all__ = [
+    "Cause",
+    "CorpusCase",
+    "Divergence",
+    "FUZZ_TARGETS",
+    "FuzzProgram",
+    "FuzzReport",
+    "FuzzStmt",
+    "ProgramGenerator",
+    "ProgramVerdict",
+    "evaluate_program",
+    "load_case",
+    "load_corpus",
+    "outcome_signature",
+    "run_fuzz",
+    "save_case",
+    "shrink",
+]

@@ -1,0 +1,96 @@
+"""The regression corpus: minimized fuzz cases replayed by pytest.
+
+Each corpus entry is one JSON file under ``tests/corpus/`` recording a
+minimized program, the divergence cause that made it interesting, and
+the expected outcome (``Outcome.describe()`` form) on every registered
+implementation it was classified against.  The pytest replayer
+(``tests/test_corpus_replay.py``) re-runs every file on every recorded
+implementation and fails if any outcome shifts -- so semantics changes
+that would silently alter fuzz classifications fail loudly, the same
+way the golden reports guard the S5 numbers.
+
+File names embed a content hash, making saves idempotent and collisions
+impossible across fuzz runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.impls.registry import by_name
+
+
+@dataclass
+class CorpusCase:
+    """One minimized regression program plus its recorded classification."""
+
+    name: str
+    cause: str
+    source: str
+    expectations: dict[str, str] = field(default_factory=dict)
+    seed: int | None = None
+    note: str = ""
+
+    @classmethod
+    def from_outcomes(cls, cause: str, source: str, outcomes,
+                      seed: int | None = None, note: str = "") -> "CorpusCase":
+        """Build a case from ``{impl_name: Outcome}`` as recorded by the
+        oracle (insertion order preserved, no set iteration)."""
+        expectations = {name: outcome.describe()
+                        for name, outcome in outcomes.items()}
+        digest = hashlib.sha256(source.encode()).hexdigest()[:10]
+        return cls(name=f"{cause}-{digest}", cause=cause, source=source,
+                   expectations=expectations, seed=seed, note=note)
+
+    def replay(self) -> list[tuple[str, str, str]]:
+        """Re-run on every recorded implementation.
+
+        Returns ``(impl_name, expected, observed)`` mismatch triples;
+        empty means the recorded classification still holds.
+        """
+        mismatches = []
+        for impl_name in sorted(self.expectations):
+            expected = self.expectations[impl_name]
+            observed = by_name(impl_name).run(self.source).describe()
+            if observed != expected:
+                mismatches.append((impl_name, expected, observed))
+        return mismatches
+
+
+def save_case(directory: pathlib.Path | str, case: CorpusCase) -> pathlib.Path:
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    payload = {
+        "name": case.name,
+        "cause": case.cause,
+        "seed": case.seed,
+        "note": case.note,
+        "source": case.source,
+        "expectations": dict(sorted(case.expectations.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_case(path: pathlib.Path | str) -> CorpusCase:
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return CorpusCase(
+        name=payload["name"],
+        cause=payload["cause"],
+        source=payload["source"],
+        expectations=dict(payload["expectations"]),
+        seed=payload.get("seed"),
+        note=payload.get("note", ""),
+    )
+
+
+def load_corpus(directory: pathlib.Path | str) -> list[CorpusCase]:
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_case(path) for path in sorted(directory.glob("*.json"))]

@@ -1,0 +1,215 @@
+"""The fuzzing loop: generate, classify, aggregate, shrink, record.
+
+``run_fuzz`` is the engine behind ``repro fuzz --seed N --iterations K
+--time-budget S``.  Divergences are aggregated into groups keyed by
+(implementation, cause, outcome-kind pair); the first program seen for
+each group is kept as its representative and minimized by the shrinker
+once the generation loop finishes, so **every reported divergence
+carries a minimized program and a cause tag**.  Findings (unexplained
+divergences, interpreter crashes, frontend rejections) additionally
+flip the report's ``ok`` bit and are written to the regression corpus
+when a corpus directory is given.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import OutcomeKind
+from repro.fuzz.corpus import CorpusCase, save_case
+from repro.fuzz.generator import FuzzProgram, ProgramGenerator
+from repro.fuzz.oracle import (
+    Cause,
+    Divergence,
+    FUZZ_TARGETS,
+    FuzzTarget,
+    evaluate_program,
+)
+from repro.fuzz.shrinker import shrink
+
+#: Default iteration count when neither --iterations nor --time-budget
+#: is given.
+DEFAULT_ITERATIONS = 100
+
+
+def _kind_token(described: str) -> str:
+    """The outcome-kind part of an ``Outcome.describe()`` string."""
+    return described.split()[0].rstrip(":") if described else ""
+
+
+def _group_key(div: Divergence) -> tuple[str, str, str, str]:
+    return (div.impl_name, div.cause.value,
+            _kind_token(div.reference), _kind_token(div.observed))
+
+
+@dataclass
+class DivergenceGroup:
+    """All divergences sharing (implementation, cause, kind pair)."""
+
+    impl_name: str
+    cause: Cause
+    reference_kind: str
+    observed_kind: str
+    count: int = 0
+    first_iteration: int = 0
+    example: FuzzProgram | None = None
+    example_divergence: Divergence | None = None
+    minimized_source: str | None = None
+    minimized_outcomes: dict = field(default_factory=dict)
+
+    @property
+    def is_finding(self) -> bool:
+        return self.cause.is_finding
+
+    def describe(self) -> str:
+        return (f"{self.impl_name:32s} {self.cause.value:20s} "
+                f"{self.reference_kind:>5s} -> {self.observed_kind:<6s} "
+                f"x{self.count}")
+
+
+@dataclass
+class FuzzReport:
+    """The result of one fuzzing run."""
+
+    seed: int
+    iterations: int = 0
+    elapsed: float = 0.0
+    reference_counts: dict[str, int] = field(default_factory=dict)
+    groups: list[DivergenceGroup] = field(default_factory=list)
+    corpus_paths: list[pathlib.Path] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[DivergenceGroup]:
+        return [g for g in self.groups if g.is_finding]
+
+    @property
+    def divergence_total(self) -> int:
+        return sum(g.count for g in self.groups)
+
+    @property
+    def ok(self) -> bool:
+        """True when every divergence has a known cause and nothing
+        crashed -- the acceptance bar for a clean fuzz run."""
+        return not self.findings
+
+    def sorted_groups(self) -> list[DivergenceGroup]:
+        return sorted(self.groups,
+                      key=lambda g: (not g.is_finding, -g.count,
+                                     g.impl_name, g.cause.value))
+
+
+def _reference_label(verdict) -> str:
+    outcome = verdict.reference
+    if outcome is None:
+        return "crash"
+    if outcome.kind is OutcomeKind.EXIT:
+        return "exit"
+    return outcome.describe()
+
+
+def _preserves_group(group: DivergenceGroup,
+                     targets: tuple[FuzzTarget, ...]):
+    """Predicate: does a candidate still exhibit this group's failure?"""
+    subset = tuple(t for t in targets if t.impl.name == group.impl_name)
+
+    def predicate(candidate: FuzzProgram) -> bool:
+        verdict = evaluate_program(candidate, subset)
+        return any(_group_key(d) == (group.impl_name, group.cause.value,
+                                     group.reference_kind,
+                                     group.observed_kind)
+                   for d in verdict.divergences)
+
+    return predicate
+
+
+def run_fuzz(seed: int = 0,
+             iterations: int | None = None,
+             time_budget: float | None = None,
+             targets: tuple[FuzzTarget, ...] = FUZZ_TARGETS,
+             shrink_budget: int = 200,
+             corpus_dir: pathlib.Path | str | None = None,
+             save_known: bool = False,
+             progress: Callable[[int, "FuzzReport"], None] | None = None,
+             ) -> FuzzReport:
+    """Run the differential fuzzing loop.
+
+    Stops after ``iterations`` programs or ``time_budget`` seconds,
+    whichever comes first (defaults to :data:`DEFAULT_ITERATIONS` when
+    neither is given).  Every divergence group's representative program
+    is minimized before the report is returned.
+    """
+    if iterations is None and time_budget is None:
+        iterations = DEFAULT_ITERATIONS
+    rng = random.Random(seed)
+    generator = ProgramGenerator(rng)
+    report = FuzzReport(seed=seed)
+    groups: dict[tuple, DivergenceGroup] = {}
+    started = time.monotonic()
+
+    index = 0
+    while True:
+        if iterations is not None and index >= iterations:
+            break
+        if time_budget is not None and \
+                time.monotonic() - started >= time_budget:
+            break
+        program = generator.generate()
+        verdict = evaluate_program(program, targets)
+        label = _reference_label(verdict)
+        report.reference_counts[label] = \
+            report.reference_counts.get(label, 0) + 1
+        for div in verdict.divergences:
+            key = _group_key(div)
+            group = groups.get(key)
+            if group is None:
+                group = DivergenceGroup(
+                    impl_name=div.impl_name, cause=div.cause,
+                    reference_kind=key[2], observed_kind=key[3],
+                    first_iteration=index, example=program,
+                    example_divergence=div)
+                groups[key] = group
+            group.count += 1
+        index += 1
+        if progress is not None:
+            progress(index, report)
+
+    report.iterations = index
+    report.groups = list(groups.values())
+
+    # Minimize every group's representative (cause-tagged evidence).
+    for group in report.groups:
+        if group.example is None:
+            continue
+        predicate = _preserves_group(group, targets)
+        try:
+            minimized = shrink(group.example, predicate,
+                               max_evals=shrink_budget)
+        except ValueError:
+            # The representative stopped reproducing under the
+            # single-target subset (e.g. a crash consumed the example);
+            # fall back to the unminimized program.
+            minimized = group.example
+        group.minimized_source = minimized.render()
+        group.minimized_outcomes = dict(
+            evaluate_program(minimized, targets).outcomes)
+
+    if corpus_dir is not None:
+        for group in report.sorted_groups():
+            if not (group.is_finding or save_known):
+                continue
+            if group.minimized_source is None:
+                continue
+            case = CorpusCase.from_outcomes(
+                cause=group.cause.value, source=group.minimized_source,
+                outcomes=group.minimized_outcomes, seed=seed,
+                note=(f"{group.impl_name}: {group.reference_kind} -> "
+                      f"{group.observed_kind}, seen x{group.count} "
+                      f"(seed {seed})"))
+            report.corpus_paths.append(save_case(corpus_dir, case))
+
+    report.elapsed = time.monotonic() - started
+    return report

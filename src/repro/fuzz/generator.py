@@ -1,0 +1,268 @@
+"""Seeded generator of well-typed CHERI C programs (the fuzz frontend).
+
+Programs are built from a small statement IR rather than raw text so the
+shrinker (:mod:`repro.fuzz.shrinker`) can delete and simplify statements
+while keeping the program well-typed by construction.  Every program has
+the same typed prologue -- a stack array, a heap allocation, a struct
+holding a pointer, ``(u)intptr_t`` mirrors, and an accumulator -- and a
+generated sequence of straight-line statements drawn from the Table 1
+categories: pointer arithmetic, ``(u)intptr_t`` round trips and bitwise
+masking, casts, struct/array sub-object access, ``malloc``/``free``
+lifetimes, and equality/relational operators.  The weights favour the
+provenance- and representability-sensitive shapes whose divergences are
+the paper's S5 headline findings (``& UINT_MAX`` / ``& INT_MAX`` masking,
+bounds setting, byte-level capability pokes).
+
+Everything is driven by one :class:`random.Random` so a seed fully
+reproduces a run; no iteration order depends on hash randomisation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+#: Masks for the Appendix-A ``intptr_t`` bitwise experiments.  Whether a
+#: mask is the identity depends on the implementation's allocator address
+#: ranges, which is exactly the S5 divergence the fuzzer must exercise.
+MASKS = (0xffffffff,        # UINT_MAX
+         0x7fffffff,        # INT_MAX
+         0xffffffffffff,    # 48-bit virtual-address mask
+         ~0x7 & 0xffffffffffffffff,   # alignment mask
+         0xffffffffffffffff)          # identity on any 64-bit address
+
+
+@dataclass(frozen=True)
+class FuzzStmt:
+    """One generated statement: a template plus shrinkable integer slots.
+
+    ``template`` is a ``str.format`` string whose ``{0}``/``{1}``/...
+    fields are filled from ``slots``.  The shrinker may drop the whole
+    statement or move a slot toward zero; both keep the program
+    well-typed because templates only parameterise integer literals.
+    """
+
+    tag: str
+    template: str
+    slots: tuple[int, ...] = ()
+
+    def render(self) -> str:
+        return "  " + self.template.format(*self.slots)
+
+    def with_slot(self, index: int, value: int) -> "FuzzStmt":
+        slots = list(self.slots)
+        slots[index] = value
+        return replace(self, slots=tuple(slots))
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A generated program: prologue parameters plus the statement list."""
+
+    arr_len: int
+    heap_len: int
+    stmts: tuple[FuzzStmt, ...]
+
+    def render(self) -> str:
+        lines = [
+            "#include <stdint.h>",
+            "#include <string.h>",
+            "#include <stdlib.h>",
+            "#include <cheriintrin.h>",
+            "struct pair { int x; int *q; };",
+            "int main(void) {",
+            f"  int a[{self.arr_len}];",
+            f"  for (int i = 0; i < {self.arr_len}; i++) a[i] = i + 1;",
+            f"  int *h = (int *)malloc({self.heap_len} * sizeof(int));",
+            f"  for (int i = 0; i < {self.heap_len}; i++) h[i] = 64 + i;",
+            "  int freed = 0;",
+            "  int *p = a;",
+            "  struct pair s;",
+            "  s.x = 1;",
+            "  s.q = a;",
+            "  uintptr_t u = (uintptr_t)p;",
+            "  intptr_t ip = (intptr_t)p;",
+            "  int acc = 0;",
+        ]
+        lines.extend(stmt.render() for stmt in self.stmts)
+        lines.append("  if (!freed) free(h);")
+        lines.append("  return acc & 63;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def without_stmt(self, index: int) -> "FuzzProgram":
+        stmts = self.stmts[:index] + self.stmts[index + 1:]
+        return replace(self, stmts=stmts)
+
+    def with_stmt(self, index: int, stmt: FuzzStmt) -> "FuzzProgram":
+        stmts = list(self.stmts)
+        stmts[index] = stmt
+        return replace(self, stmts=tuple(stmts))
+
+
+class ProgramGenerator:
+    """Weighted random programs over the supported C subset."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # -- statement builders -------------------------------------------------
+    # Each builder returns one FuzzStmt; ``n``/``m`` are the stack-array
+    # and heap lengths so index choices can straddle the bounds edge.
+
+    def _ptr_from_array(self, n: int, m: int) -> FuzzStmt:
+        off = self.rng.choice([0, 1, n - 1, n, n + 1, -1,
+                               self.rng.randint(0, n)])
+        return FuzzStmt("ptr-arith", "p = a + {0};", (off,))
+
+    def _ptr_step(self, n: int, m: int) -> FuzzStmt:
+        step = self.rng.choice([-2, -1, 1, 2, n])
+        return FuzzStmt("ptr-arith", "p = p + {0};", (step,))
+
+    def _deref_read(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("deref-read", "acc += *p;")
+
+    def _deref_write(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("deref-write", "*p = {0};", (self.rng.randint(0, 9),))
+
+    def _index(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.choice([0, n - 1, n, self.rng.randint(0, n)])
+        if self.rng.random() < 0.5:
+            return FuzzStmt("index-read", "acc += a[{0}];", (i,))
+        return FuzzStmt("index-write", "a[{0}] = {1};",
+                        (i, self.rng.randint(0, 9)))
+
+    def _intptr_roundtrip(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("intptr-roundtrip",
+                        "ip = (intptr_t)p; p = (int *)ip;")
+
+    def _uintptr_mask(self, n: int, m: int) -> FuzzStmt:
+        mask = self.rng.choice(MASKS)
+        return FuzzStmt("uintptr-mask",
+                        "u = (uintptr_t)p; u = u & {0:#x}; p = (int *)u;",
+                        (mask,))
+
+    def _uintptr_arith(self, n: int, m: int) -> FuzzStmt:
+        delta = self.rng.choice([4, 8, 4 * n, 400004])
+        op = self.rng.choice(["+", "-"])
+        return FuzzStmt("uintptr-arith",
+                        "u = u " + op + " {0}; u = u " + op + " {0};"
+                        if self.rng.random() < 0.2 else
+                        "u = u " + op + " {0};",
+                        (delta,))
+
+    def _uintptr_back(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("uintptr-back", "p = (int *)u;")
+
+    def _uintptr_refresh(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("uintptr-refresh", "u = (uintptr_t)p;")
+
+    def _bounds_set(self, n: int, m: int) -> FuzzStmt:
+        length = self.rng.choice([0, 4, 4 * n, 4 * n + 4,
+                                  self.rng.randint(0, 4 * n + 8)])
+        src = self.rng.choice(["a", "p"])
+        return FuzzStmt("bounds-set",
+                        "p = cheri_bounds_set(" + src + ", {0});", (length,))
+
+    def _intrinsic_read(self, n: int, m: int) -> FuzzStmt:
+        call = self.rng.choice([
+            "acc += (int)cheri_length_get(p) & 63;",
+            "acc += (int)cheri_tag_get(p);",
+            "acc += (int)(cheri_base_get(p) <= cheri_address_get(p));",
+        ])
+        return FuzzStmt("intrinsic-read", call)
+
+    def _subobject(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.randint(0, n - 1)
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            return FuzzStmt("subobject", "s.q = &a[{0}];", (i,))
+        if choice == 1:
+            return FuzzStmt("subobject", "s.q = s.q + {0}; acc += *s.q;",
+                            (self.rng.choice([-1, 0, 1, 2]),))
+        return FuzzStmt("subobject", "acc += *s.q;")
+
+    def _struct_int(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("struct-int", "s.x = s.x + {0}; acc += s.x;",
+                        (self.rng.randint(0, 5),))
+
+    def _heap_access(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.choice([0, m - 1, m, self.rng.randint(0, m)])
+        if self.rng.random() < 0.5:
+            return FuzzStmt("heap-read", "acc += h[{0}];", (i,))
+        return FuzzStmt("heap-write", "h[{0}] = {1};",
+                        (i, self.rng.randint(0, 9)))
+
+    def _free(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("free", "if (!freed) {{ free(h); freed = 1; }}")
+
+    def _equality(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.randint(0, n)
+        return FuzzStmt("equality", "if (p == a + {0}) acc += 1;", (i,))
+
+    def _relational_same(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.randint(0, n)
+        return FuzzStmt("relational", "if (a < a + {0}) acc += 2;", (i,))
+
+    def _relational_cross(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("relational-cross", "if (p < h) acc += 3;")
+
+    def _ptr_diff(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("ptr-diff", "acc += (int)(p - a);")
+
+    def _cast_chain(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt("cast-chain",
+                        "acc += (int)(unsigned char)(u >> {0});",
+                        (self.rng.choice([0, 4, 8]),))
+
+    def _memcpy_struct(self, n: int, m: int) -> FuzzStmt:
+        return FuzzStmt(
+            "memcpy-struct",
+            "{{ struct pair t; memcpy(&t, &s, sizeof t); "
+            "if (t.q == s.q) acc += 4; }}")
+
+    def _byte_poke(self, n: int, m: int) -> FuzzStmt:
+        i = self.rng.randint(0, 7)
+        return FuzzStmt(
+            "byte-poke",
+            "{{ unsigned char *b = (unsigned char *)&s.q; "
+            "b[{0}] = b[{0}]; }}", (i,))
+
+    #: (weight, builder) -- weights lean toward the S5-sensitive shapes.
+    def _catalogue(self):
+        return (
+            (8, self._ptr_from_array),
+            (5, self._ptr_step),
+            (8, self._deref_read),
+            (5, self._deref_write),
+            (6, self._index),
+            (6, self._intptr_roundtrip),
+            (10, self._uintptr_mask),
+            (7, self._uintptr_arith),
+            (5, self._uintptr_back),
+            (4, self._uintptr_refresh),
+            (8, self._bounds_set),
+            (5, self._intrinsic_read),
+            (7, self._subobject),
+            (3, self._struct_int),
+            (6, self._heap_access),
+            (4, self._free),
+            (4, self._equality),
+            (3, self._relational_same),
+            (3, self._relational_cross),
+            (4, self._ptr_diff),
+            (4, self._cast_chain),
+            (3, self._memcpy_struct),
+            (4, self._byte_poke),
+        )
+
+    # -- program assembly ---------------------------------------------------
+
+    def generate(self) -> FuzzProgram:
+        n = self.rng.randint(2, 8)
+        m = self.rng.randint(2, 6)
+        catalogue = self._catalogue()
+        builders = [b for weight, b in catalogue for _ in range(weight)]
+        count = self.rng.randint(3, 10)
+        stmts = tuple(self.rng.choice(builders)(n, m) for _ in range(count))
+        return FuzzProgram(arr_len=n, heap_len=m, stmts=stmts)

@@ -21,6 +21,7 @@ from repro.capability.morello import MORELLO
 from repro.impls.config import Implementation
 from repro.memory.allocator import AddressMap
 from repro.memory.model import Mode
+from repro.memory.options import OOBArithPolicy, SemanticsOptions
 
 CERBERUS_MAP = AddressMap(
     name="cerberus",
@@ -158,6 +159,18 @@ CHERIOT_HARDWARE = Implementation(
                 "additional temporal guarantees')",
 )
 
+CERBERUS_PERMISSIVE = Implementation(
+    name="cerberus-permissive",
+    arch=MORELLO,
+    mode=Mode.ABSTRACT,
+    address_map=CERBERUS_MAP,
+    opt_level=0,
+    options=SemanticsOptions(oob_arith=OOBArithPolicy.ARCH_REPRESENTABLE),
+    description="Abstract machine under the permissive S3.2 option (c): "
+                "pointer arithmetic defined within the representable "
+                "region (the strict mode is plain 'cerberus')",
+)
+
 #: The implementations the S5 comparison runs over.
 ALL_IMPLEMENTATIONS: tuple[Implementation, ...] = (
     CERBERUS,
@@ -182,7 +195,8 @@ APPENDIX_IMPLEMENTATIONS: tuple[Implementation, ...] = (
 
 _BY_NAME = {impl.name: impl for impl in
             ALL_IMPLEMENTATIONS + (CLANG_MORELLO_O3_SUBOBJECT,
-                                   CHERIOT_ABSTRACT, CHERIOT_HARDWARE)}
+                                   CHERIOT_ABSTRACT, CHERIOT_HARDWARE,
+                                   CERBERUS_PERMISSIVE)}
 
 
 def by_name(name: str) -> Implementation:

@@ -46,6 +46,52 @@ def render_compliance(reports) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_fuzz_summary(report) -> str:
+    """Summary of one differential-fuzzing run (``repro fuzz``).
+
+    Mirrors the compliance table's shape: per-group divergence counts
+    with their known-cause tags, findings called out explicitly, and
+    each reported divergence backed by its minimized program.
+    """
+    lines = [f"Differential fuzz: seed {report.seed}, "
+             f"{report.iterations} programs, "
+             f"{report.elapsed:.1f}s",
+             "",
+             "Reference outcomes:"]
+    for label in sorted(report.reference_counts):
+        lines.append(f"  {report.reference_counts[label]:5d}  {label}")
+    lines.append("")
+    if not report.groups:
+        lines.append("No divergences from the reference outcome.")
+    else:
+        lines.append(f"Divergence groups ({report.divergence_total} "
+                     f"divergent runs total):")
+        lines.append("  Implementation                   cause"
+                     "                 ref -> observed")
+        for group in report.sorted_groups():
+            lines.append("  " + group.describe())
+    findings = report.findings
+    lines.append("")
+    if findings:
+        lines.append(f"!! {len(findings)} finding group(s) without a known "
+                     f"cause:")
+        for group in findings:
+            lines.append(f"  {group.describe()}")
+            if group.minimized_source:
+                lines.append("  minimized reproducer:")
+                lines.extend("    " + line for line in
+                             group.minimized_source.splitlines())
+    else:
+        lines.append("Zero unexplained divergences and zero interpreter "
+                     "crashes: every divergence carries a known-cause tag.")
+    if report.corpus_paths:
+        lines.append("")
+        lines.append(f"Corpus: wrote {len(report.corpus_paths)} minimized "
+                     f"case(s):")
+        lines.extend(f"  {path}" for path in report.corpus_paths)
+    return "\n".join(lines) + "\n"
+
+
 def render_failures(reports) -> str:
     """Detail lines for any expectation failures (normally empty)."""
     lines = []

@@ -32,12 +32,15 @@ def all_cases() -> tuple[TestCase, ...]:
         provenance_temporal, optimization, stdlib_subobject, paper_listings,
     )
     cases: list[TestCase] = []
-    seen: set[str] = set()
+    seen: dict[str, str] = {}
     for module in modules:
         for case in module.CASES:
             if case.name in seen:
-                raise ValueError(f"duplicate test name {case.name!r}")
-            seen.add(case.name)
+                raise ValueError(
+                    f"duplicate test name {case.name!r} in module "
+                    f"{module.__name__} (first defined in "
+                    f"{seen[case.name]})")
+            seen[case.name] = module.__name__
             cases.append(case)
     return tuple(cases)
 
@@ -51,7 +54,9 @@ def table1_counts() -> dict[Category, int]:
     ``CATEGORIES`` to validate against the paper's Table 1)."""
     counts = {category: 0 for category in Category}
     for case in all_cases():
-        for category in set(case.categories):
+        # Sorted so downstream report paths never depend on set
+        # iteration order (PYTHONHASHSEED-stable output).
+        for category in sorted(set(case.categories), key=lambda c: c.value):
             counts[category] += 1
     return counts
 

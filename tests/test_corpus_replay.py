@@ -1,0 +1,51 @@
+"""Replay the fuzzing regression corpus (``tests/corpus/*.json``).
+
+Every corpus file is a minimized program the differential fuzzer found
+interesting, together with the outcome it recorded on each registered
+implementation.  Replaying them here turns past fuzz classifications
+into permanent regression tests: a semantics change that would silently
+re-classify a divergence fails loudly with the implementation name and
+the before/after outcomes.
+
+Regenerate or extend the corpus with::
+
+    python -m repro fuzz --seed 0 --iterations 60 \
+        --corpus-dir tests/corpus --save-known
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.oracle import Cause
+from repro.impls.registry import by_name
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert CORPUS, f"no corpus files under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_replays_identically(case):
+    mismatches = case.replay()
+    assert not mismatches, "\n".join(
+        f"{impl}: recorded {expected!r}, now {observed!r}"
+        for impl, expected, observed in mismatches)
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_is_well_formed(case):
+    # A valid known-cause tag (findings would mean a committed bug
+    # reproducer; those deserve a fix, not a corpus entry).
+    cause = Cause(case.cause)
+    assert not cause.is_finding, \
+        f"{case.name}: corpus entries must carry a known cause"
+    # Every recorded implementation still exists in the registry.
+    for impl_name in case.expectations:
+        by_name(impl_name)
+    # The name embeds the cause, matching the on-disk filename scheme.
+    assert case.name.startswith(case.cause)

@@ -1,14 +1,17 @@
 """Golden-output regression tests for the deterministic paper artefacts.
 
-The Appendix-A trace and the Figure-1 layout are fully deterministic,
-so any change to their regenerated text signals a semantic change in
-capability printing, allocator address policy, or the encoding layout.
+The Appendix-A trace, the Figure-1 layout, and the S5 compliance report
+are fully deterministic, so any change to their regenerated text signals
+a semantic change in capability printing, allocator address policy, the
+encoding layout, or an implementation's behaviour on the 94-test suite.
 The golden copies live in ``tests/golden/``; refresh them deliberately
 when a change is intended:
 
     pytest benchmarks/bench_appendix_a.py benchmarks/bench_figure1.py \
         --benchmark-only
     cp benchmarks/reports/{appendix_a,figure1}.txt tests/golden/
+    python -c "from tests.test_golden_reports import regenerate_compliance; \
+        print(regenerate_compliance(), end='')" > tests/golden/compliance.txt
 """
 
 import pathlib
@@ -60,9 +63,23 @@ def regenerate_figure1() -> str:
         sys.path.remove(str(bench_dir))
 
 
+def regenerate_compliance() -> str:
+    from repro.impls.registry import ALL_IMPLEMENTATIONS
+    from repro.reporting.tables import render_compliance
+    from repro.testsuite.compare import compare_implementations
+    return render_compliance(compare_implementations(ALL_IMPLEMENTATIONS))
+
+
 def test_appendix_a_is_stable():
     assert regenerate_appendix() == (GOLDEN / "appendix_a.txt").read_text()
 
 
 def test_figure1_is_stable():
     assert regenerate_figure1() == (GOLDEN / "figure1.txt").read_text()
+
+
+def test_compliance_report_is_stable():
+    """The full S5 comparison (7 implementations x 94 tests) renders
+    byte-identically run over run; a diff here means an implementation's
+    observable behaviour moved."""
+    assert regenerate_compliance() == (GOLDEN / "compliance.txt").read_text()

@@ -1,0 +1,51 @@
+"""Suite-integrity guards: Table 1 deficits and name uniqueness.
+
+These fail loudly (naming the offending module) if a program module
+edit ever drifts the assembled suite away from the paper's Table 1 or
+introduces a duplicate test name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testsuite import suite as suite_mod
+from repro.testsuite.case import TestCase, exits
+from repro.testsuite.categories import Category
+from repro.testsuite.suite import all_cases, table1_deficits
+
+
+def test_table1_deficits_all_zero():
+    assert table1_deficits() == {}
+
+
+def test_case_names_unique_across_program_modules():
+    names = [case.name for case in all_cases()]
+    assert len(names) == len(set(names))
+
+
+def test_duplicate_name_error_names_the_module():
+    """``all_cases`` must say *which* program module collided."""
+    from repro.testsuite.programs import alignment_allocator, intptr
+    first = alignment_allocator.CASES[0]
+    clone = TestCase(name=first.name,
+                     categories=(Category.INTPTR_PROPERTIES,),
+                     source="int main(void) { return 0; }",
+                     expect=exits(0), description="collision probe")
+
+    original = intptr.CASES
+    all_cases.cache_clear()
+    intptr.CASES = original + [clone] if isinstance(original, list) \
+        else tuple(original) + (clone,)
+    try:
+        with pytest.raises(ValueError) as excinfo:
+            suite_mod.all_cases()
+        message = str(excinfo.value)
+        assert first.name in message
+        assert "programs.intptr" in message          # the offender
+        assert "programs.alignment_allocator" in message   # first definer
+    finally:
+        intptr.CASES = original
+        all_cases.cache_clear()
+    # The restored suite assembles cleanly again.
+    assert len(suite_mod.all_cases()) == 94
