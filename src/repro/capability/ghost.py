@@ -70,5 +70,16 @@ class GhostState:
             bits.append("bounds?")
         return ",".join(bits) if bits else "clean"
 
+    def transition_to(self, other: "GhostState") -> str | None:
+        """Label of the unspecifiedness introduced going from this state
+        to ``other`` (``None`` when nothing new became unspecified) --
+        the ``ghost`` payload of ``ghost.set`` trace events."""
+        bits = []
+        if other.tag_unspecified and not self.tag_unspecified:
+            bits.append("tag?")
+        if other.bounds_unspecified and not self.bounds_unspecified:
+            bits.append("bounds?")
+        return ",".join(bits) if bits else None
+
 
 _CLEAN = GhostState()

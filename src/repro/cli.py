@@ -11,6 +11,8 @@ Usage::
     cheri-run --list                 # list known implementations
     repro fuzz --seed 0 --iterations 200
     repro fuzz --seed 0 --time-budget 30 --corpus-dir tests/corpus
+    repro trace test.c --explain     # semantic event trace + UB explainer
+    repro trace test.c --jsonl out.jsonl --metrics
 """
 
 from __future__ import annotations
@@ -42,6 +44,14 @@ def fuzz_main(argv: list[str]) -> int:
     parser.add_argument("--save-known", action="store_true",
                         help="also write minimized known-cause divergence "
                              "cases to the corpus directory")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write reference JSONL event traces of every "
+                             "finding's minimized reproducer to this "
+                             "directory")
+    parser.add_argument("--preserve-explanation", action="store_true",
+                        help="shrink findings under the 'same explaining "
+                             "event' predicate: minimisation must keep the "
+                             "reference trace's explaining signature")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-iteration progress output")
     args = parser.parse_args(argv)
@@ -61,9 +71,73 @@ def fuzz_main(argv: list[str]) -> int:
         time_budget=args.time_budget,
         corpus_dir=args.corpus_dir,
         save_known=args.save_known,
+        trace_dir=args.trace_dir,
+        preserve_explanation=args.preserve_explanation,
         progress=progress)
     print(render_fuzz_summary(report), end="")
     return 0 if report.ok else 1
+
+
+def trace_main(argv: list[str]) -> int:
+    """The ``trace`` subcommand: run one program with the event-trace
+    subsystem attached and report what the semantics observed."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run a CHERI C program with semantic event tracing: "
+                    "allocation lifecycle, provenance transitions, "
+                    "capability derivations, and every UB check")
+    parser.add_argument("file", help="C source file")
+    parser.add_argument("--impl", default="cerberus",
+                        help="implementation name (default: cerberus)")
+    parser.add_argument("--jsonl", default=None, metavar="FILE",
+                        help="write the trace as JSON Lines "
+                             "('-' for stdout)")
+    parser.add_argument("--explain", action="store_true",
+                        help="reconstruct the causal chain behind the "
+                             "outcome (UB catalogue entry, trap, or ghost "
+                             "excursion)")
+    parser.add_argument("--ring", type=int, default=None, metavar="N",
+                        help="keep only the last N events (bounded memory "
+                             "for long runs)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print run metrics (event counts, UB "
+                             "verdicts, allocator totals)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import EventBus, Metrics, TraceRecorder, explain
+
+    impl = by_name(args.impl)
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+
+    bus = EventBus()
+    recorder = TraceRecorder(ring=args.ring)
+    recorder.attach(bus)
+    metrics = Metrics()
+    metrics.attach(bus)
+    metrics.start()
+    outcome = impl.run(source, bus=bus)
+    metrics.finish(steps=bus.step)
+
+    if outcome.stdout:
+        sys.stdout.write(outcome.stdout)
+    if args.jsonl == "-":
+        recorder.write_jsonl(sys.stdout)
+    elif args.jsonl is not None:
+        count = recorder.write_jsonl(args.jsonl)
+        print(f"[{impl.name}] wrote {count} events to {args.jsonl}",
+              file=sys.stderr)
+    if args.jsonl is None and not args.explain and not args.metrics:
+        # Bare `repro trace prog.c`: human-readable event log.
+        for event in recorder.events():
+            print(f"  step {event.step:>4}  {event.kind:<16} {event.what}")
+    if args.explain:
+        sys.stdout.write(explain(recorder.events(),
+                                 outcome=outcome.describe()))
+    if args.metrics:
+        sys.stdout.write(metrics.summary())
+    print(f"[{impl.name}] {outcome.describe()}", file=sys.stderr)
+    return outcome.exit_status if outcome.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     return _run_main(argv)
 
 
@@ -87,13 +163,22 @@ def _run_main(argv: list[str]) -> int:
                         help="regenerate a paper artefact instead of "
                              "running a file")
     parser.add_argument("--list", action="store_true",
-                        help="list the known implementations")
+                        help="list the known implementations and their "
+                             "memory-model options")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print run metrics (event counts, UB "
+                             "verdicts, allocator totals) after the run")
     args = parser.parse_args(argv)
 
     if args.list:
         from repro.impls.registry import _BY_NAME
         for name in sorted(_BY_NAME):
-            print(f"{name:32s} {_BY_NAME[name].description}")
+            impl = _BY_NAME[name]
+            print(f"{name:32s} {impl.description}")
+            print(f"{'':32s}   mode={impl.mode.name.lower()} "
+                  f"O{impl.opt_level} {impl.options.describe()} "
+                  f"subobject-bounds="
+                  f"{'on' if impl.subobject_bounds else 'off'}")
         return 0
 
     if args.report:
@@ -113,18 +198,34 @@ def _run_main(argv: list[str]) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
 
+    def run_with_metrics(impl):
+        if not args.metrics:
+            return impl.run(source), None
+        from repro.obs import EventBus, Metrics
+        bus = EventBus()
+        metrics = Metrics()
+        metrics.attach(bus)
+        metrics.start()
+        outcome = impl.run(source, bus=bus)
+        metrics.finish(steps=bus.step)
+        return outcome, metrics
+
     if args.all:
         for impl in ALL_IMPLEMENTATIONS:
-            outcome = impl.run(source)
+            outcome, metrics = run_with_metrics(impl)
             print(f"== {impl.name}: {outcome.describe()}")
             if outcome.stdout:
                 sys.stdout.write(outcome.stdout)
+            if metrics is not None:
+                sys.stdout.write(metrics.summary())
         return 0
 
     impl = by_name(args.impl)
-    outcome = impl.run(source)
+    outcome, metrics = run_with_metrics(impl)
     if outcome.stdout:
         sys.stdout.write(outcome.stdout)
+    if metrics is not None:
+        sys.stdout.write(metrics.summary())
     print(f"[{impl.name}] {outcome.describe()}", file=sys.stderr)
     return outcome.exit_status if outcome.ok else 1
 

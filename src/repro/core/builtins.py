@@ -24,7 +24,7 @@ from repro.errors import (
     AssertionFailure, CTypeError, UB, UndefinedBehaviour,
 )
 from repro.memory.intrinsics import SIGNATURES, UNSPECIFIED
-from repro.memory.provenance import Provenance
+from repro.memory.provenance import Provenance, ProvKind
 from repro.memory.values import (
     IntegerValue, MemoryValue, MVInteger, MVPointer, MVUnspecified,
     PointerValue,
@@ -55,9 +55,55 @@ BUILTIN_NAMES = LIBC_NAMES | CHERI_RUNTIME_NAMES | frozenset(SIGNATURES)
 def dispatch(interp: "Interpreter", name: str, args: list[MemoryValue],
              line: int) -> MemoryValue | None:
     if name in SIGNATURES:
-        return _intrinsic(interp, name, args, line)
+        result = _intrinsic(interp, name, args, line)
+        bus = interp.model.bus
+        if bus is not None:
+            _emit_intrinsic_call(interp, bus, name, args, result)
+        return result
     handler = _HANDLERS[name]
     return handler(interp, args, line)
+
+
+def _trace_render(interp: "Interpreter", value: MemoryValue) -> str:
+    """Render a value for the ``intrinsic.call`` trace payload in the
+    Appendix-A capprint style (provenance-free under hardware)."""
+    hardware = interp.model.hardware
+    if isinstance(value, MVPointer):
+        return format_capability(value.ptr.cap,
+                                 None if hardware else value.ptr.prov,
+                                 hardware=hardware)
+    if isinstance(value, MVInteger):
+        ival = value.ival
+        if ival.cap is not None:
+            return format_capability(ival.cap,
+                                     None if hardware else ival.prov,
+                                     hardware=hardware)
+        return str(ival.value())
+    if isinstance(value, MVUnspecified):
+        return "?"
+    return str(value)
+
+
+def _emit_intrinsic_call(interp: "Interpreter", bus, name: str,
+                         args: list[MemoryValue],
+                         result: MemoryValue) -> None:
+    ctx = {}
+    arg0 = args[0] if args else None
+    prov = None
+    if isinstance(arg0, MVPointer):
+        prov = arg0.ptr.prov
+    elif isinstance(arg0, MVInteger):
+        prov = arg0.ival.prov
+    if prov is not None:
+        if prov.kind is ProvKind.ALLOC:
+            ctx["alloc"] = prov.ident
+        elif prov.is_symbolic:
+            ctx["iota"] = prov.ident
+    rendered = [_trace_render(interp, a) for a in args]
+    bus.emit("intrinsic.call", name=name, args=rendered,
+             result=_trace_render(interp, result), **ctx,
+             what=f"{name}({', '.join(rendered)}) = "
+                  f"{_trace_render(interp, result)}")
 
 
 # ---------------------------------------------------------------------------
@@ -302,12 +348,9 @@ def _format_value(interp, spec: str, value: MemoryValue) -> str:
         return "?"
     conv = spec[-1]
     if conv == "p":
-        if isinstance(value, MVPointer):
-            return format_capability(value.ptr.cap, value.ptr.prov,
-                                     hardware=interp.model.hardware)
-        if isinstance(value, MVInteger) and value.ival.cap is not None:
-            return format_capability(value.ival.cap, value.ival.prov,
-                                     hardware=interp.model.hardware)
+        if isinstance(value, MVPointer) or \
+                (isinstance(value, MVInteger) and value.ival.cap is not None):
+            return _trace_render(interp, value)
         return hex(_plain_int(value, "printf"))
     if conv == "s":
         return _read_cstring(interp, _need_ptr(value, "printf"), "printf")
@@ -465,8 +508,9 @@ def _bi_sptr(interp, args, line):
         text = "<unspecified>"
     else:
         cap, prov, _t = _value_capability(interp, value)
-        text = format_capability(cap, prov,
-                                 hardware=interp.model.hardware)
+        hardware = interp.model.hardware
+        text = format_capability(cap, None if hardware else prov,
+                                 hardware=hardware)
     from repro.ctypes.types import CHAR
     ptr = interp.model.allocate_string(text.encode("latin-1"),
                                        name="sptr")
@@ -496,7 +540,9 @@ def _bi_print_cap(interp, args, line):
         interp.out.write(f"{label} <unspecified>\n")
         return None
     cap, prov, _t = _value_capability(interp, value)
-    text = format_capability(cap, prov, hardware=interp.model.hardware)
+    hardware = interp.model.hardware
+    text = format_capability(cap, None if hardware else prov,
+                             hardware=hardware)
     interp.out.write(f"{label} {text}\n")
     return None
 

@@ -126,12 +126,29 @@ class Interpreter:
         self.string_literals: dict[str, PointerValue] = {}
         self.frames: list[Frame] = []
         self.steps = 0
+        #: The model's event bus (None = untraced).  Kept as a local
+        #: attribute so the hot step counters pay one ``is None`` test.
+        self.bus = model.bus
 
     # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
 
     def run(self, main: str = "main") -> Outcome:
+        outcome = self._run(main)
+        bus = self.bus
+        if bus is not None:
+            bus.step = self.steps
+            bus.emit("run.outcome", outcome=outcome.kind.value,
+                     ub=str(outcome.ub) if outcome.ub is not None else None,
+                     trap=(str(outcome.trap) if outcome.trap is not None
+                           else None),
+                     exit_status=outcome.exit_status,
+                     unspecified=outcome.unspecified,
+                     what=outcome.describe())
+        return outcome
+
+    def _run(self, main: str) -> Outcome:
         try:
             self._setup()
             fdef = self.functions.get(main)
@@ -207,6 +224,11 @@ class Interpreter:
                 f"got {len(args)}")
         if len(self.frames) > 200:
             raise CTypeError("call depth limit exceeded")
+        bus = self.bus
+        if bus is not None:
+            bus.emit("interp.call", func=fdef.name, args=len(args),
+                     depth=len(self.frames),
+                     what=f"call {fdef.name}() with {len(args)} arg(s)")
         frame = Frame(fdef.name)
         mark = self.model.stack_mark()
         self.frames.append(frame)
@@ -256,6 +278,9 @@ class Interpreter:
         self.steps += 1
         if self.steps > STEP_LIMIT:
             raise CTypeError("step limit exceeded (runaway test program)")
+        bus = self.bus
+        if bus is not None:
+            bus.step = self.steps
         if isinstance(stmt, Empty):
             return
         if isinstance(stmt, ExprStmt):
@@ -538,6 +563,9 @@ class Interpreter:
         self.steps += 1
         if self.steps > STEP_LIMIT:
             raise CTypeError("step limit exceeded (runaway test program)")
+        bus = self.bus
+        if bus is not None:
+            bus.step = self.steps
         method = getattr(self, "_eval_" + type(expr).__name__.lower(), None)
         if method is None:
             raise CTypeError(f"unhandled expression {type(expr).__name__}")

@@ -16,6 +16,9 @@ whole implementation registry:
   -model mode) or flagged as a finding;
 * :mod:`repro.fuzz.shrinker` -- AST-level minimisation of any divergent
   or crashing program while preserving the failure signature;
+* :mod:`repro.fuzz.evidence` -- trace evidence for findings: the
+  reference's explaining event (attached to every finding) and the
+  "same explaining event" shrink predicate ingredient;
 * :mod:`repro.fuzz.corpus` -- the ``tests/corpus/`` regression corpus:
   minimized cases with their recorded per-implementation outcomes,
   replayed by pytest on every run;
@@ -25,6 +28,11 @@ whole implementation registry:
 
 from repro.fuzz.corpus import CorpusCase, load_case, load_corpus, save_case
 from repro.fuzz.driver import FuzzReport, run_fuzz
+from repro.fuzz.evidence import (
+    capture_trace,
+    reference_evidence,
+    reference_signature,
+)
 from repro.fuzz.generator import FuzzProgram, FuzzStmt, ProgramGenerator
 from repro.fuzz.oracle import (
     Cause,
@@ -46,10 +54,13 @@ __all__ = [
     "FuzzStmt",
     "ProgramGenerator",
     "ProgramVerdict",
+    "capture_trace",
     "evaluate_program",
     "load_case",
     "load_corpus",
     "outcome_signature",
+    "reference_evidence",
+    "reference_signature",
     "run_fuzz",
     "save_case",
     "shrink",

@@ -81,6 +81,7 @@ class FuzzReport:
     reference_counts: dict[str, int] = field(default_factory=dict)
     groups: list[DivergenceGroup] = field(default_factory=list)
     corpus_paths: list[pathlib.Path] = field(default_factory=list)
+    trace_paths: list[pathlib.Path] = field(default_factory=list)
 
     @property
     def findings(self) -> list[DivergenceGroup]:
@@ -112,16 +113,30 @@ def _reference_label(verdict) -> str:
 
 
 def _preserves_group(group: DivergenceGroup,
-                     targets: tuple[FuzzTarget, ...]):
-    """Predicate: does a candidate still exhibit this group's failure?"""
+                     targets: tuple[FuzzTarget, ...],
+                     signature: tuple | None = None):
+    """Predicate: does a candidate still exhibit this group's failure?
+
+    With ``signature`` set, the candidate must additionally preserve
+    the reference trace's explaining signature -- the "same explaining
+    event" shrink mode: minimisation may not swap the semantic cause
+    (e.g. trade a bounds violation for a tag violation) even when the
+    observable outcome pair stays the same.
+    """
     subset = tuple(t for t in targets if t.impl.name == group.impl_name)
 
     def predicate(candidate: FuzzProgram) -> bool:
-        verdict = evaluate_program(candidate, subset)
-        return any(_group_key(d) == (group.impl_name, group.cause.value,
+        verdict = evaluate_program(candidate, subset,
+                                   attach_evidence=False)
+        if not any(_group_key(d) == (group.impl_name, group.cause.value,
                                      group.reference_kind,
                                      group.observed_kind)
-                   for d in verdict.divergences)
+                   for d in verdict.divergences):
+            return False
+        if signature is not None:
+            from repro.fuzz.evidence import reference_signature
+            return reference_signature(candidate) == signature
+        return True
 
     return predicate
 
@@ -133,6 +148,8 @@ def run_fuzz(seed: int = 0,
              shrink_budget: int = 200,
              corpus_dir: pathlib.Path | str | None = None,
              save_known: bool = False,
+             trace_dir: pathlib.Path | str | None = None,
+             preserve_explanation: bool = False,
              progress: Callable[[int, "FuzzReport"], None] | None = None,
              ) -> FuzzReport:
     """Run the differential fuzzing loop.
@@ -141,6 +158,11 @@ def run_fuzz(seed: int = 0,
     whichever comes first (defaults to :data:`DEFAULT_ITERATIONS` when
     neither is given).  Every divergence group's representative program
     is minimized before the report is returned.
+
+    ``trace_dir`` persists a full reference JSONL trace of every
+    finding group's minimized reproducer.  ``preserve_explanation``
+    makes shrinking of findings additionally preserve the reference
+    trace's explaining signature (see :func:`_preserves_group`).
     """
     if iterations is None and time_budget is None:
         iterations = DEFAULT_ITERATIONS
@@ -184,7 +206,11 @@ def run_fuzz(seed: int = 0,
     for group in report.groups:
         if group.example is None:
             continue
-        predicate = _preserves_group(group, targets)
+        signature = None
+        if preserve_explanation and group.is_finding:
+            from repro.fuzz.evidence import reference_signature
+            signature = reference_signature(group.example)
+        predicate = _preserves_group(group, targets, signature)
         try:
             minimized = shrink(group.example, predicate,
                                max_evals=shrink_budget)
@@ -195,7 +221,24 @@ def run_fuzz(seed: int = 0,
             minimized = group.example
         group.minimized_source = minimized.render()
         group.minimized_outcomes = dict(
-            evaluate_program(minimized, targets).outcomes)
+            evaluate_program(minimized, targets,
+                             attach_evidence=False).outcomes)
+
+    if trace_dir is not None:
+        directory = pathlib.Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        from repro.fuzz.evidence import capture_trace
+        for group in report.findings:
+            if group.minimized_source is None:
+                continue
+            _outcome, recorder = capture_trace(group.minimized_source)
+            stem = f"{group.impl_name}-{group.cause.value}".replace(
+                ":", "_").replace("/", "_")
+            path = directory / f"{stem}.jsonl"
+            recorder.write_jsonl(path)
+            (directory / f"{stem}.c").write_text(group.minimized_source,
+                                                 encoding="utf-8")
+            report.trace_paths.append(path)
 
     if corpus_dir is not None:
         for group in report.sorted_groups():

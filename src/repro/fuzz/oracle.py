@@ -134,6 +134,7 @@ class Divergence:
     reference: str      # global reference outcome, Outcome.describe() form
     observed: str       # this target's outcome (or crash repr)
     detail: str = ""
+    evidence: dict | None = None   # reference trace's explaining event
 
     @property
     def is_finding(self) -> bool:
@@ -177,12 +178,18 @@ def _reference_key(impl: Implementation) -> tuple:
 
 def evaluate_program(
         program: FuzzProgram | str,
-        targets: tuple[FuzzTarget, ...] = FUZZ_TARGETS) -> ProgramVerdict:
+        targets: tuple[FuzzTarget, ...] = FUZZ_TARGETS, *,
+        attach_evidence: bool = True) -> ProgramVerdict:
     """Run one program everywhere and classify every divergence.
 
     Matched-reference runs are computed lazily (only when a target
     disagrees with the global reference) and cached per configuration,
     so agreeing programs cost one reference run plus one run per target.
+
+    When the verdict contains findings and ``attach_evidence`` is on,
+    the reference is re-run once with tracing and the explaining event
+    of its trace is attached to every finding (the semantic "why"
+    behind the outcome pair; see :mod:`repro.fuzz.evidence`).
     """
     source = program.render() if isinstance(program, FuzzProgram) else program
 
@@ -262,4 +269,11 @@ def evaluate_program(
             impl_name=target.impl.name, cause=cause,
             reference=reference.describe(), observed=outcome.describe(),
             detail=outcome.detail))
+
+    if attach_evidence and any(d.is_finding for d in verdict.divergences):
+        from repro.fuzz.evidence import reference_evidence
+        evidence = reference_evidence(source)
+        for div in verdict.divergences:
+            if div.is_finding:
+                div.evidence = evidence
     return verdict

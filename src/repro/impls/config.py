@@ -41,19 +41,24 @@ class Implementation:
     revocation: bool = False
     description: str = ""
 
-    def fresh_model(self) -> MemoryModel:
+    def fresh_model(self, bus=None) -> MemoryModel:
         return MemoryModel(self.arch, self.mode, self.address_map,
                            subobject_bounds=self.subobject_bounds,
                            options=self.options,
-                           revocation=self.revocation)
+                           revocation=self.revocation,
+                           bus=bus)
 
     @property
     def layout(self) -> TargetLayout:
         return TargetLayout(self.arch)
 
-    def run(self, source: str, main: str = "main") -> Outcome:
-        """Compile (parse + modelled optimisation) and run one program."""
-        model = self.fresh_model()
+    def run(self, source: str, main: str = "main", *, bus=None) -> Outcome:
+        """Compile (parse + modelled optimisation) and run one program.
+
+        ``bus`` attaches an :class:`~repro.obs.events.EventBus` for the
+        run (``repro trace``, fuzz evidence capture); None = untraced.
+        """
+        model = self.fresh_model(bus=bus)
         try:
             program = parse_program(source, model.layout)
             program = optimize_program(program, model.layout,

@@ -104,11 +104,12 @@ class FaultyImplementation(Implementation):
 
     model_class: type[MemoryModel] = MemoryModel
 
-    def fresh_model(self):
+    def fresh_model(self, bus=None):
         return self.model_class(self.arch, self.mode, self.address_map,
                                 subobject_bounds=self.subobject_bounds,
                                 options=self.options,
-                                revocation=self.revocation)
+                                revocation=self.revocation,
+                                bus=bus)
 
 
 def _faulty(name: str, model_class: type[MemoryModel],

@@ -86,6 +86,9 @@ class BumpAllocator:
                  params: CompressionParams) -> None:
         self.address_map = address_map
         self.params = params
+        #: Optional event bus (set by the owning MemoryModel); when
+        #: attached, every reservation emits ``region.reserve``.
+        self.bus = None
         self._cursors: dict[AllocKind, int] = {
             kind: address_map.region_base(kind) for kind in AllocKind
         }
@@ -121,6 +124,14 @@ class BumpAllocator:
         else:
             base = _align_up(cursor, align2)
             self._cursors[region] = base + size2
+        bus = self.bus
+        if bus is not None:
+            bus.emit("region.reserve", region=region.name.lower(),
+                     base=hex(base), size=size, padded_size=size2,
+                     align=align2,
+                     what=f"{region.name.lower()} [{base:#x},+{size2}) for "
+                          f"{size} bytes (representability pad "
+                          f"{size2 - size})")
         return base, size2
 
 

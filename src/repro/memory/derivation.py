@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import UB, UndefinedBehaviour
 from repro.memory.options import IntptrPolicy
+from repro.memory.provenance import ProvKind
 from repro.memory.values import IntegerValue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -65,8 +66,43 @@ def derive(lhs: IntegerValue, rhs: IntegerValue | None, result: int, *,
         policy = (model.options.intptr if model is not None
                   else IntptrPolicy.DEFINED_WITH_GHOST)
         moved = _apply_abstract_policy(source, result, policy)
+    bus = model.bus if model is not None else None
+    if bus is not None:
+        _emit_derivation(bus, source, moved, hardware)
     # Signedness of the result follows the result type, not the source.
     return IntegerValue.of_cap(moved.cap, signed, moved.prov)
+
+
+def _emit_derivation(bus, source: IntegerValue, moved: IntegerValue,
+                     hardware: bool) -> None:
+    """The S4.4 derivation step as trace events: one ``deriv.arith`` per
+    op, plus ``ghost.set``/``cap.tag_clear`` when the move left the
+    representable region (the S3.3 excursion)."""
+    cap, new = source.cap, moved.cap
+    assert cap is not None and new is not None
+    ctx = {}
+    if source.prov.kind is ProvKind.ALLOC:
+        ctx["alloc"] = source.prov.ident
+    elif source.prov.is_symbolic:
+        ctx["iota"] = source.prov.ident
+    representable = cap.bounds_fields.is_representable(cap.address,
+                                                       new.address)
+    bus.emit("deriv.arith", frm=hex(cap.address), to=hex(new.address),
+             representable=representable, **ctx,
+             what=f"(u)intptr_t arithmetic {cap.address:#x} -> "
+                  f"{new.address:#x}"
+                  + ("" if representable else " (non-representable)"))
+    if hardware:
+        if cap.tag and not new.tag:
+            bus.emit("cap.tag_clear", **ctx,
+                     what=f"tag cleared: move to {new.address:#x} left the "
+                          f"representable region")
+        return
+    label = cap.ghost.transition_to(new.ghost)
+    if label is not None:
+        bus.emit("ghost.set", ghost=label, **ctx,
+                 what=f"excursion to {new.address:#x}: {label} ghost state "
+                      f"set (S3.3 option (c))")
 
 
 def _apply_abstract_policy(source: IntegerValue, result: int,

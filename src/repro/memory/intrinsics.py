@@ -54,6 +54,11 @@ class Intrinsics:
         self.model = model
         self.arch = model.arch
 
+    def _emit(self, kind: str, **data) -> None:
+        bus = self.model.bus
+        if bus is not None:
+            bus.emit(kind, **data)
+
     # -- field getters ------------------------------------------------------
 
     def address_get(self, cap: Capability) -> int:
@@ -114,9 +119,14 @@ class Intrinsics:
     # -- field setters (monotonic) ---------------------------------------
 
     def address_set(self, cap: Capability, addr: int) -> Capability:
+        masked = addr & self.arch.address_mask
         if self.model.hardware:
-            return cap.with_address(addr & self.arch.address_mask)
-        return cap.with_address_ghost(addr & self.arch.address_mask)
+            new = cap.with_address(masked)
+        else:
+            new = cap.with_address_ghost(masked)
+        self._emit("cap.address_set", frm=hex(cap.address), to=hex(masked),
+                   what=f"address set {cap.address:#x} -> {masked:#x}")
+        return new
 
     def offset_set(self, cap: Capability, offset: int) -> Capability:
         if cap.ghost.bounds_unspecified:
@@ -126,23 +136,43 @@ class Intrinsics:
         return self.address_set(cap, cap.base + offset)
 
     def tag_clear(self, cap: Capability) -> Capability:
+        self._emit("cap.tag_clear", addr=hex(cap.address),
+                   what=f"tag cleared at {cap.address:#x}")
         return cap.with_tag(False)
 
     def perms_and(self, cap: Capability, mask: int) -> Capability:
         kept = PermissionSet.from_iterable(
             perm for i, perm in enumerate(self.arch.perm_order)
             if (mask >> i) & 1)
-        return cap.with_perms_masked(kept)
+        new = cap.with_perms_masked(kept)
+        self._emit("cap.perms_and", mask=mask, perms=new.perms.describe(),
+                   what=f"permissions masked to [{new.perms.describe()}]")
+        return new
 
     def bounds_set(self, cap: Capability, length: int) -> Capability:
-        new, _exact = cap.set_bounds(cap.address, length)
+        new, exact = cap.set_bounds(cap.address, length)
+        self._emit("cap.bounds_set", addr=hex(cap.address), length=length,
+                   exact=exact,
+                   what=f"bounds narrowed to [{new.base:#x}-{new.top:#x}]"
+                        f" (len {length}"
+                        + ("" if exact else ", padded") + ")")
         return new
 
     def bounds_set_exact(self, cap: Capability, length: int) -> Capability:
         """Like ``bounds_set`` but the tag is cleared when the requested
         bounds are not exactly representable."""
         new, exact = cap.set_bounds(cap.address, length)
-        return new if exact else new.with_tag(False)
+        self._emit("cap.bounds_set", addr=hex(cap.address), length=length,
+                   exact=exact, exact_requested=True,
+                   what=f"exact bounds [{cap.address:#x},+{length})"
+                        + ("" if exact else " not representable: tag "
+                                            "cleared"))
+        if exact:
+            return new
+        self._emit("cap.tag_clear", addr=hex(cap.address),
+                   what="tag cleared: requested exact bounds not "
+                        "representable")
+        return new.with_tag(False)
 
     # -- sealing --------------------------------------------------------
 
@@ -150,8 +180,13 @@ class Intrinsics:
         ok = (authority.tag and not authority.is_sealed
               and authority.has_perm(Permission.SEAL)
               and authority.in_bounds(authority.address, 1))
-        sealed = cap.sealed_with(OType(authority.address
-                                       & ((1 << self.arch.otype_width) - 1)))
+        otype = OType(authority.address
+                      & ((1 << self.arch.otype_width) - 1))
+        sealed = cap.sealed_with(otype)
+        self._emit("cap.seal", addr=hex(cap.address), otype=otype.value,
+                   ok=ok,
+                   what=f"sealed with otype {otype.value}"
+                        + ("" if ok else " (bad authority: tag cleared)"))
         return sealed if ok else sealed.with_tag(False)
 
     def unseal(self, cap: Capability, authority: Capability) -> Capability:
@@ -160,9 +195,16 @@ class Intrinsics:
               and cap.is_sealed
               and authority.address == cap.otype.value)
         out = cap.unsealed()
+        self._emit("cap.unseal", addr=hex(cap.address),
+                   otype=cap.otype.value, ok=ok,
+                   what=f"unsealed from otype {cap.otype.value}"
+                        + ("" if ok else " (bad authority: tag cleared)"))
         return out if ok else out.with_tag(False)
 
     def sentry_create(self, cap: Capability) -> Capability:
+        self._emit("cap.seal", addr=hex(cap.address),
+                   otype=OType.sentry().value, ok=True,
+                   what=f"sealed as sentry at {cap.address:#x}")
         return cap.sealed_with(OType.sentry())
 
     # -- comparisons ----------------------------------------------------

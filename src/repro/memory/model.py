@@ -67,6 +67,8 @@ from repro.memory.values import (
     MVUnspecified,
     PointerValue,
 )
+from repro.obs.events import EventBus
+from repro.reporting.capprint import format_capability
 
 
 class Mode(enum.Enum):
@@ -102,7 +104,8 @@ class MemoryModel:
                  address_map: AddressMap, *,
                  subobject_bounds: bool = False,
                  options: SemanticsOptions | None = None,
-                 revocation: bool = False) -> None:
+                 revocation: bool = False,
+                 bus: EventBus | None = None) -> None:
         self.arch = arch
         self.mode = mode
         self.layout = TargetLayout(arch)
@@ -110,6 +113,8 @@ class MemoryModel:
         self.subobject_bounds = subobject_bounds
         self.options = options if options is not None else PAPER_CHOICES
         self.revocation = revocation
+        self.bus = bus
+        self.state.allocator.bus = bus
         self._root = arch.root_capability()
 
     # ------------------------------------------------------------------
@@ -120,8 +125,26 @@ class MemoryModel:
     def hardware(self) -> bool:
         return self.mode is Mode.HARDWARE
 
-    def _ub(self, ub: UB, detail: str = "") -> UndefinedBehaviour:
+    def _ub(self, ub: UB, detail: str = "", **ctx) -> UndefinedBehaviour:
+        bus = self.bus
+        if bus is not None:
+            bus.emit("check.ub", ub=str(ub),
+                     what=f"{ub}: {detail}" if detail else str(ub), **ctx)
         return UndefinedBehaviour(ub, detail)
+
+    def _trap(self, kind: TrapKind, detail: str = "", **ctx) -> CheriTrap:
+        bus = self.bus
+        if bus is not None:
+            bus.emit("check.trap", trap=str(kind),
+                     what=f"{kind}: {detail}" if detail else str(kind), **ctx)
+        return CheriTrap(kind, detail)
+
+    def _fmt_cap(self, cap: Capability, prov: Provenance | None) -> str:
+        """Appendix-A rendering respecting the mode (hardware output
+        must not carry a provenance, see reporting.capprint)."""
+        if self.hardware:
+            return format_capability(cap, hardware=True)
+        return format_capability(cap, prov)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -203,7 +226,16 @@ class MemoryModel:
         if not cap.tag:
             raise MemoryModelError(
                 f"allocator produced unrepresentable bounds at {base:#x}")
-        return PointerValue(Provenance.alloc(ident), cap)
+        prov = Provenance.alloc(ident)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("alloc.create", alloc=ident, name=name,
+                     storage=kind.name.lower(), base=hex(base),
+                     top=hex(base + size), size=size,
+                     cap=self._fmt_cap(cap, prov),
+                     what=f"@{ident} '{name}' {size} bytes "
+                          f"{self._fmt_cap(cap, prov)}")
+        return PointerValue(prov, cap)
 
     def kill_allocation(self, ident: int) -> None:
         """End of lifetime (scope exit); the allocation is retained dead
@@ -211,6 +243,11 @@ class MemoryModel:
         alloc = self.state.allocations.get(ident)
         if alloc is not None:
             alloc.alive = False
+            bus = self.bus
+            if bus is not None:
+                bus.emit("alloc.kill", alloc=ident, name=alloc.name,
+                         what=f"@{ident} '{alloc.name}' lifetime ended "
+                              f"(scope exit)")
 
     def stack_mark(self) -> int:
         """Cursor save for a stack frame (pop with :meth:`stack_release`)."""
@@ -235,6 +272,7 @@ class MemoryModel:
                 if (alloc.kind is AllocKind.HEAP and alloc.alive
                         and alloc.base == ptr.address):
                     alloc.alive = False
+                    self._emit_free(alloc)
                     if self.revocation:
                         self._revoke_region(alloc.base, alloc.top)
                     return
@@ -242,13 +280,33 @@ class MemoryModel:
         alloc = self._prov_allocation(ptr)
         if alloc is None or alloc.kind is not AllocKind.HEAP:
             raise self._ub(UB.FREE_NON_MATCHING,
-                           f"free of {ptr.address:#x}")
+                           f"free of {ptr.address:#x}",
+                           **self._prov_ctx(ptr))
         if not alloc.alive:
-            raise self._ub(UB.DOUBLE_FREE, f"free of {ptr.address:#x}")
+            raise self._ub(UB.DOUBLE_FREE, f"free of {ptr.address:#x}",
+                           alloc=alloc.ident)
         if ptr.address != alloc.base:
             raise self._ub(UB.FREE_NON_MATCHING,
-                           "free of interior pointer")
+                           "free of interior pointer", alloc=alloc.ident)
         alloc.alive = False
+        self._emit_free(alloc)
+
+    def _emit_free(self, alloc: Allocation) -> None:
+        bus = self.bus
+        if bus is not None:
+            bus.emit("alloc.free", alloc=alloc.ident, name=alloc.name,
+                     what=f"@{alloc.ident} freed "
+                          f"[{alloc.base:#x},{alloc.top:#x})")
+
+    def _prov_ctx(self, ptr: PointerValue) -> dict:
+        """Event-payload keys identifying a pointer's provenance (the
+        explainer's causal-chain join keys)."""
+        prov = ptr.prov
+        if prov.kind is ProvKind.ALLOC:
+            return {"alloc": prov.ident}
+        if prov.is_symbolic:
+            return {"iota": prov.ident}
+        return {}
 
     def realloc(self, ptr: PointerValue, new_size: int) -> PointerValue:
         """``realloc``: new region, contents copied, old region killed."""
@@ -282,6 +340,7 @@ class MemoryModel:
         tagged in-memory capability into ``[base, top)`` loses its tag.
         """
         size = self.arch.capability_size
+        cleared = 0
         for slot, meta in self.state.capmeta.items():
             if not meta.tag:
                 continue
@@ -291,6 +350,13 @@ class MemoryModel:
             bounds = cap.decoded()
             if bounds.base < top and bounds.top > base:
                 meta.tag = False
+                cleared += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit("alloc.revoke", base=hex(base), top=hex(top),
+                     cleared=cleared,
+                     what=f"revocation sweep over [{base:#x},{top:#x}) "
+                          f"cleared {cleared} stored tag(s)")
 
     # ------------------------------------------------------------------
     # The access check (S4.3 bounds_check / load rule)
@@ -307,60 +373,78 @@ class MemoryModel:
         """
         cap = ptr.cap
         perm = Permission.STORE if store else Permission.LOAD
+        op = "store" if store else "load"
         if self.hardware:
             if not cap.tag:
-                raise CheriTrap(TrapKind.TAG_VIOLATION,
-                                f"access via untagged cap at {cap.address:#x}")
+                raise self._trap(
+                    TrapKind.TAG_VIOLATION,
+                    f"access via untagged cap at {cap.address:#x}")
             if cap.is_sealed:
-                raise CheriTrap(TrapKind.SEAL_VIOLATION,
-                                f"access via sealed cap at {cap.address:#x}")
+                raise self._trap(
+                    TrapKind.SEAL_VIOLATION,
+                    f"access via sealed cap at {cap.address:#x}")
             if not cap.has_perm(perm) and not initialising:
-                raise CheriTrap(TrapKind.PERMISSION_VIOLATION,
-                                f"missing {perm.name}")
+                raise self._trap(TrapKind.PERMISSION_VIOLATION,
+                                 f"missing {perm.name}")
             if not cap.in_bounds(cap.address, size):
                 d = cap.decoded()
-                raise CheriTrap(
+                raise self._trap(
                     TrapKind.BOUNDS_VIOLATION,
                     f"[{cap.address:#x},+{size}) outside "
                     f"[{d.base:#x},{d.top:#x})")
+            bus = self.bus
+            if bus is not None:
+                bus.emit("check.access", op=op, addr=hex(cap.address),
+                         size=size,
+                         what=f"{op} [{cap.address:#x},+{size}) ok")
             return None
 
         # -- abstract machine ---------------------------------------------
         # Check order mirrors hardware fault priority (tag before
         # permissions), so an untagged NULL-derived capability -- which
         # also has no permissions -- reports UB_CHERI_InvalidCap.
+        ctx = self._prov_ctx(ptr)
         if cap.is_null():
             raise self._ub(UB.NULL_DEREFERENCE)
         if cap.ghost.tag_unspecified or cap.ghost.bounds_unspecified:  # (1c)
             raise self._ub(UB.CHERI_UNDEFINED_TAG,
-                           "capability with unspecified ghost state")
+                           "capability with unspecified ghost state", **ctx)
         if not cap.tag:                                            # (1d)
             raise self._ub(UB.CHERI_INVALID_CAP,
-                           f"untagged cap at {cap.address:#x}")
+                           f"untagged cap at {cap.address:#x}", **ctx)
         if cap.is_sealed:
-            raise self._ub(UB.CHERI_INVALID_CAP, "sealed capability")
+            raise self._ub(UB.CHERI_INVALID_CAP, "sealed capability", **ctx)
         if not cap.has_perm(perm) and not initialising:            # (1b)
             raise self._ub(UB.CHERI_INSUFFICIENT_PERMISSIONS,
-                           f"missing {perm.name}")
+                           f"missing {perm.name}", **ctx)
         if not cap.in_bounds(cap.address, size):                   # (1e)
             d = cap.decoded()
             raise self._ub(
                 UB.CHERI_BOUNDS_VIOLATION,
-                f"[{cap.address:#x},+{size}) outside [{d.base:#x},{d.top:#x})")
+                f"[{cap.address:#x},+{size}) outside [{d.base:#x},{d.top:#x})",
+                **ctx)
         alloc = self._resolve_for_access(ptr, size)
         if alloc is None:
             raise self._ub(UB.EMPTY_PROVENANCE_ACCESS,
-                           f"access at {cap.address:#x}")
+                           f"access at {cap.address:#x}", **ctx)
         if not alloc.alive:                                        # (1f)
             raise self._ub(UB.ACCESS_DEAD_ALLOCATION,
-                           f"allocation @{alloc.ident} is dead")
+                           f"allocation @{alloc.ident} is dead",
+                           alloc=alloc.ident)
         if not alloc.footprint_contains(cap.address, size):        # (1g)
             raise self._ub(
                 UB.ACCESS_OUT_OF_BOUNDS,
                 f"[{cap.address:#x},+{size}) outside allocation "
-                f"@{alloc.ident} [{alloc.base:#x},{alloc.top:#x})")
+                f"@{alloc.ident} [{alloc.base:#x},{alloc.top:#x})",
+                alloc=alloc.ident)
         if store and alloc.readonly and not initialising:
-            raise self._ub(UB.WRITE_TO_CONST, alloc.name)
+            raise self._ub(UB.WRITE_TO_CONST, alloc.name, alloc=alloc.ident)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("check.access", op=op, addr=hex(cap.address), size=size,
+                     alloc=alloc.ident,
+                     what=f"{op} [{cap.address:#x},+{size}) ok "
+                          f"via @{alloc.ident}")
         return alloc
 
     def _prov_allocation(self, ptr: PointerValue) -> Allocation | None:
@@ -387,10 +471,23 @@ class MemoryModel:
                       and a.alive
                       and a.footprint_contains(ptr.address, size)]
             if len(viable) >= 1:
-                self.state.resolve_iota(prov.ident, viable[0])
+                self._resolve_iota(prov.ident, viable[0], cands)
                 return self.state.allocations[viable[0]]
             return None
         return None
+
+    def _resolve_iota(self, iota_id: int, ident: int,
+                      cands: tuple[int, ...]) -> None:
+        """Collapse a symbolic provenance at first use (S2.3 udi)."""
+        self.state.resolve_iota(iota_id, ident)
+        bus = self.bus
+        if bus is not None and len(cands) > 1:
+            # Only a genuine collapse is an event; later uses of an
+            # already-resolved iota re-derive the same singleton.
+            bus.emit("prov.iota_resolve", iota=iota_id, chosen=ident,
+                     candidates=list(cands),
+                     what=f"@iota{iota_id} {tuple(cands)} resolved to "
+                          f"@{ident} at first use")
 
     # ------------------------------------------------------------------
     # Typed load / store
@@ -402,6 +499,11 @@ class MemoryModel:
         self._check_align(ctype, ptr.address)
         self._check_access(ptr, size, store=False)
         value = self._decode_value(ctype, ptr.address, via=ptr.cap)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("mem.load", addr=hex(ptr.address), size=size,
+                     ctype=str(ctype), **self._prov_ctx(ptr),
+                     what=f"load {ctype} at {ptr.address:#x}")
         return value
 
     def store(self, ctype: CType, ptr: PointerValue, value: MemoryValue,
@@ -410,6 +512,11 @@ class MemoryModel:
         self._check_align(ctype, ptr.address)
         self._check_access(ptr, size, store=True, initialising=initialising)
         self._encode_value(ctype, ptr.address, value, via=ptr.cap)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("mem.store", addr=hex(ptr.address), size=size,
+                     ctype=str(ctype), **self._prov_ctx(ptr),
+                     what=f"store {ctype} at {ptr.address:#x}")
 
     def _check_align(self, ctype: CType, addr: int) -> None:
         """Capability-sized accesses must be capability-aligned; hardware
@@ -419,8 +526,8 @@ class MemoryModel:
         if addr % self.arch.capability_size == 0:
             return
         if self.hardware:
-            raise CheriTrap(TrapKind.SIGSEGV,
-                            f"misaligned capability access at {addr:#x}")
+            raise self._trap(TrapKind.SIGSEGV,
+                             f"misaligned capability access at {addr:#x}")
         raise self._ub(UB.MISALIGNED_ACCESS,
                        f"capability access at {addr:#x}")
 
@@ -520,9 +627,22 @@ class MemoryModel:
         (the ``expose(A, I_tainted)`` step of the S4.3 load rule)."""
         if self.hardware:
             return
+        seen: set[int] = set()
         for b in raw:
-            if b.prov.kind is ProvKind.ALLOC:
-                self.state.expose(b.prov.ident)
+            if b.prov.kind is ProvKind.ALLOC and b.prov.ident not in seen:
+                seen.add(b.prov.ident)
+                self._expose(b.prov.ident, "pointer bytes read at "
+                                           "integer type")
+
+    def _expose(self, ident: int, why: str) -> None:
+        """PNVI-ae exposure with its event."""
+        alloc = self.state.allocations.get(ident)
+        already = alloc is not None and alloc.exposed
+        self.state.expose(ident)
+        bus = self.bus
+        if bus is not None and not already:
+            bus.emit("prov.expose", alloc=ident,
+                     what=f"@{ident} exposed ({why})")
 
     # -- encoding ---------------------------------------------------------
 
@@ -595,6 +715,16 @@ class MemoryModel:
         loop-to-memcpy optimisation (which would preserve the tag) stays
         sound.
         """
+        bus = self.bus
+        if bus is not None and not self.hardware:
+            hit = [slot for slot in self.state.cap_slots(addr, size)
+                   if (m := self.state.capmeta.get(slot)) is not None
+                   and (m.tag or not m.ghost.tag_unspecified)]
+            if hit or copied_cap_byte:
+                bus.emit("ghost.set", ghost="tag?",
+                         slots=[hex(s) for s in hit],
+                         what=f"data write [{addr:#x},+{size}) made stored "
+                              f"tag unspecified (S3.5)")
         self.state.taint_capmeta(addr, size, self.hardware)
         if copied_cap_byte and not self.hardware:
             for slot in self.state.cap_slots(addr, size):
@@ -626,8 +756,9 @@ class MemoryModel:
         if cap.tag and via is not None and \
                 not via.has_perm(Permission.STORE_CAP):
             if self.hardware:
-                raise CheriTrap(TrapKind.PERMISSION_VIOLATION,
-                                "storing tagged capability without STORE_CAP")
+                raise self._trap(
+                    TrapKind.PERMISSION_VIOLATION,
+                    "storing tagged capability without STORE_CAP")
             raise self._ub(UB.CHERI_INSUFFICIENT_PERMISSIONS,
                            "missing STORE_CAP")
         data = self.arch.encode(cap)
@@ -651,9 +782,14 @@ class MemoryModel:
         """
         esize = self.layout.sizeof(elem)
         new_addr = ptr.address + n * esize
+        bus = self.bus
         if self.hardware:
-            return ptr.with_cap(ptr.cap.with_address(
-                new_addr & self.arch.address_mask))
+            masked = new_addr & self.arch.address_mask
+            if bus is not None and n != 0:
+                bus.emit("deriv.shift", frm=hex(ptr.address), to=hex(masked),
+                         n=n, what=f"p+({n}): {ptr.address:#x} -> "
+                                   f"{masked:#x} (unchecked)")
+            return ptr.with_cap(ptr.cap.with_address(masked))
 
         if ptr.is_null():
             if n == 0:
@@ -663,11 +799,18 @@ class MemoryModel:
         alloc = self._resolve_arith(ptr, new_addr)
         if alloc is None:
             raise self._ub(UB.OUT_OF_BOUNDS_PTR_ARITH,
-                           "arithmetic on pointer with empty provenance")
+                           "arithmetic on pointer with empty provenance",
+                           **self._prov_ctx(ptr))
         if not alloc.alive:
             raise self._ub(UB.ACCESS_DEAD_ALLOCATION,
-                           "arithmetic on pointer to dead allocation")
+                           "arithmetic on pointer to dead allocation",
+                           alloc=alloc.ident)
         self._check_arith_policy(ptr, alloc, new_addr)
+        if bus is not None and n != 0:
+            bus.emit("deriv.shift", alloc=alloc.ident, frm=hex(ptr.address),
+                     to=hex(new_addr), n=n,
+                     what=f"p+({n}): {ptr.address:#x} -> {new_addr:#x} "
+                          f"within @{alloc.ident}")
         return ptr.with_cap(ptr.cap.with_address(new_addr))
 
     def _check_arith_policy(self, ptr: PointerValue, alloc: Allocation,
@@ -679,7 +822,8 @@ class MemoryModel:
                 raise self._ub(
                     UB.OUT_OF_BOUNDS_PTR_ARITH,
                     f"{new_addr:#x} outside [{alloc.base:#x},"
-                    f"{alloc.top:#x}] of allocation @{alloc.ident}")
+                    f"{alloc.top:#x}] of allocation @{alloc.ident}",
+                    alloc=alloc.ident)
             return
         if policy is OOBArithPolicy.PORTABLE_ENVELOPE:
             lo, hi = self.arch.portable_representable_limits(
@@ -688,14 +832,15 @@ class MemoryModel:
                 raise self._ub(
                     UB.OUT_OF_BOUNDS_PTR_ARITH,
                     f"{new_addr:#x} outside the portable envelope "
-                    f"[{lo:#x},{hi:#x})")
+                    f"[{lo:#x},{hi:#x})", alloc=alloc.ident)
             return
         # ARCH_REPRESENTABLE: anything the encoding can express.
         if not ptr.cap.bounds_fields.is_representable(ptr.cap.address,
                                                       new_addr):
             raise self._ub(
                 UB.OUT_OF_BOUNDS_PTR_ARITH,
-                f"{new_addr:#x} outside the representable region")
+                f"{new_addr:#x} outside the representable region",
+                alloc=alloc.ident)
 
     def _resolve_arith(self, ptr: PointerValue,
                        new_addr: int) -> Allocation | None:
@@ -708,7 +853,7 @@ class MemoryModel:
                       if (a := self.state.allocations.get(i)) is not None
                       and a.alive and a.in_range_or_one_past(new_addr)]
             if len(viable) == 1:
-                self.state.resolve_iota(prov.ident, viable[0])
+                self._resolve_iota(prov.ident, viable[0], cands)
                 return self.state.allocations[viable[0]]
             if viable:
                 return self.state.allocations[viable[0]]
@@ -726,6 +871,14 @@ class MemoryModel:
         if self.subobject_bounds:
             member_t = struct_t.field_type(member)
             cap, _ = cap.set_bounds(new_addr, self.layout.sizeof(member_t))
+        bus = self.bus
+        if bus is not None:
+            bus.emit("deriv.member", member=member, offset=offset,
+                     to=hex(new_addr), narrowed=self.subobject_bounds,
+                     **self._prov_ctx(ptr),
+                     what=f"&p->{member}: +{offset} -> {new_addr:#x}"
+                          + (" (sub-object bounds)" if self.subobject_bounds
+                             else ""))
         return ptr.with_cap(cap)
 
     # ------------------------------------------------------------------
@@ -783,7 +936,7 @@ class MemoryModel:
                       if (a := self.state.allocations.get(i)) is not None
                       and a.alive and a.in_range_or_one_past(ptr.address)]
             if len(viable) == 1:
-                self.state.resolve_iota(prov.ident, viable[0])
+                self._resolve_iota(prov.ident, viable[0], cands)
                 return viable[0]
         return None
 
@@ -804,7 +957,7 @@ class MemoryModel:
         (PNVI-ae).
         """
         if not self.hardware and ptr.prov.kind is ProvKind.ALLOC:
-            self.state.expose(ptr.prov.ident)
+            self._expose(ptr.prov.ident, "pointer-to-integer cast")
         if kind.is_capability_carrying:
             return IntegerValue.of_cap(ptr.cap, kind.is_signed, ptr.prov)
         return IntegerValue.of_int(self.layout.wrap(kind, ptr.address))
@@ -838,12 +991,29 @@ class MemoryModel:
     def _pnvi_lookup(self, addr: int) -> Provenance:
         """PNVI-ae-udi provenance for an integer-sourced address."""
         cands = self.state.exposed_candidates(addr)
+        bus = self.bus
         if not cands:
+            if bus is not None:
+                bus.emit("prov.lookup", addr=hex(addr), result="@empty",
+                         what=f"{addr:#x} matches no exposed allocation: "
+                              f"@empty")
             return Provenance.empty()
         if len(cands) == 1:
-            return Provenance.alloc(cands[0].ident)
+            ident = cands[0].ident
+            if bus is not None:
+                bus.emit("prov.lookup", addr=hex(addr), alloc=ident,
+                         result=f"@{ident}",
+                         what=f"{addr:#x} is inside exposed @{ident}")
+            return Provenance.alloc(ident)
         # Boundary between two exposed allocations: defer (udi).
-        return self.state.fresh_iota(tuple(a.ident for a in cands))
+        idents = tuple(a.ident for a in cands)
+        prov = self.state.fresh_iota(idents)
+        if bus is not None:
+            bus.emit("prov.iota_fresh", iota=prov.ident,
+                     candidates=list(idents), addr=hex(addr),
+                     what=f"{addr:#x} on the boundary of {idents}: fresh "
+                          f"symbolic @iota{prov.ident} (udi)")
+        return prov
 
     # ------------------------------------------------------------------
     # Bulk operations (S3.5: memcpy must preserve capabilities)
@@ -858,6 +1028,12 @@ class MemoryModel:
         self._check_access(src, n, store=False)
         self._check_access(dest, n, store=True)
         self._raw_copy(dest.address, src.address, n)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("mem.copy", dest=hex(dest.address),
+                     src=hex(src.address), size=n,
+                     what=f"memcpy {n} bytes {src.address:#x} -> "
+                          f"{dest.address:#x}")
         return dest
 
     def _raw_copy(self, daddr: int, saddr: int, n: int) -> None:
@@ -879,6 +1055,7 @@ class MemoryModel:
                 self.state.set_capmeta(slot, CapMeta(meta.tag, meta.ghost))
                 preserved.add(slot)
                 slot += cap_size
+        tainted: list[int] = []
         for slot in self.state.cap_slots(daddr, n):
             if slot not in preserved:
                 meta = self.state.capmeta.get(slot)
@@ -888,6 +1065,13 @@ class MemoryModel:
                     meta.tag = False
                 else:
                     meta.ghost = meta.ghost.with_tag_unspecified()
+                    tainted.append(slot)
+        bus = self.bus
+        if bus is not None and tainted:
+            bus.emit("ghost.set", ghost="tag?",
+                     slots=[hex(s) for s in tainted],
+                     what=f"unaligned copy into [{daddr:#x},+{n}) made "
+                          f"stored tag unspecified (S3.5)")
 
     def memcmp(self, a: PointerValue, b: PointerValue, n: int) -> int:
         self._check_access(a, n, store=False)
@@ -911,6 +1095,11 @@ class MemoryModel:
             self.state.write_byte(dest.address + i,
                                   AbsByte(Provenance.empty(), byte & 0xFF))
         self.state.taint_capmeta(dest.address, n, self.hardware)
+        bus = self.bus
+        if bus is not None:
+            bus.emit("mem.set", dest=hex(dest.address), size=n,
+                     byte=byte & 0xFF,
+                     what=f"memset {n} bytes at {dest.address:#x}")
         return dest
 
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Semantic event-trace subsystem: structured observability for the
+executable semantics.
+
+The paper's payoff is *attribution*: when CHERI C implementations
+diverge (S5, Appendix A), the semantics explains **why** -- which
+provenance transition, capability derivation, or ghost-state change
+licensed the behaviour.  This package records that chain of decisions as
+a structured event trace:
+
+* :mod:`repro.obs.events` -- the :class:`EventBus` and the event
+  taxonomy (allocation lifecycle, provenance create/expose/resolve,
+  capability derivation, ghost-state transitions, UB checks with their
+  verdicts, intrinsic calls);
+* :mod:`repro.obs.recorder` -- :class:`TraceRecorder`, capturing events
+  in full or into a bounded ring buffer, with JSONL output;
+* :mod:`repro.obs.metrics` -- :class:`Metrics`, per-run counters and
+  wall time;
+* :mod:`repro.obs.explain` -- the explainer, reconstructing the causal
+  chain behind a UB verdict or divergence in the Appendix-A capprint
+  style.
+
+Tracing is strictly opt-in: every instrumentation site in the memory
+model and interpreter is guarded by an ``is None`` check on the bus, so
+an untraced run (the default everywhere) pays only that guard
+(``benchmarks/bench_trace_overhead.py`` bounds it at <=2%).
+"""
+
+from repro.obs.events import Event, EventBus
+from repro.obs.explain import explain, explaining_signature, final_event
+from repro.obs.metrics import Metrics
+from repro.obs.recorder import TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Metrics",
+    "TraceRecorder",
+    "explain",
+    "explaining_signature",
+    "final_event",
+]

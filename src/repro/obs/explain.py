@@ -1,0 +1,204 @@
+"""The explainer: reconstruct the causal chain behind a verdict.
+
+Given an event trace (live :class:`Event` objects or JSONL dicts), the
+explainer finds the *explaining event* -- the final UB check, hardware
+trap, or ghost/derivation excursion -- and walks back through the trace
+collecting its causal ancestors: the allocation that gave the capability
+its provenance, the provenance transitions (exposure, symbolic ``iota``
+creation and resolution), and every capability derivation that shaped
+the authority the final check judged.  The rendering names steps in the
+Appendix-A capprint style, e.g.::
+
+    target:  step 63  check.ub      load [0x40000018,+4) ... FAIL
+    causal chain:
+      step 41  alloc.create  @7 'p' 16 bytes at 0x40000010 ...
+      step 57  cap.bounds_set  (@7) narrowed to [0x40000010-0x40000018] ...
+    verdict: UB_CHERI_BoundsViolation because the capability carries
+      provenance @7 (allocated at step 41) and was last derived by
+      cap.bounds_set at step 57.
+
+The same machinery gives the fuzzer its evidence trail: the oracle
+attaches :func:`final_event` of the reference trace to every finding,
+and :func:`explaining_signature` is the shrinker's "same explaining
+event" preservation predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.events import Event
+
+#: Event kinds that can *be* the explanation of an outcome, in priority
+#: order (later entries are fallbacks).
+_VERDICT_KINDS = ("check.ub", "check.trap")
+
+#: Event kinds that are notable on their own even in a clean run: the
+#: semantic excursions that license divergent implementation behaviour.
+_NOTABLE_KINDS = ("ghost.set", "cap.tag_clear", "cap.seal", "cap.unseal")
+
+#: Event kinds eligible for the causal chain.
+_CHAIN_KINDS = (
+    "alloc.create", "alloc.kill", "alloc.free", "alloc.revoke",
+    "prov.expose", "prov.iota_fresh", "prov.iota_resolve", "prov.lookup",
+    "deriv.arith", "deriv.shift", "deriv.member",
+    "cap.bounds_set", "cap.seal", "cap.unseal", "cap.tag_clear",
+    "cap.perms_and", "cap.address_set",
+    "intrinsic.call", "ghost.set",
+)
+
+#: Chain length cap in the rendered output (the JSONL has everything).
+_MAX_CHAIN = 20
+
+
+def _as_dicts(events: Iterable[Event | dict]) -> list[dict]:
+    return [e.to_dict() if isinstance(e, Event) else e for e in events]
+
+
+def final_event(events: Sequence[Event | dict]) -> dict | None:
+    """The explaining event of a trace: the last UB/trap verdict, else
+    the last notable excursion, else the final outcome, else the last
+    event (``None`` for an empty trace)."""
+    dicts = _as_dicts(events)
+    for event in reversed(dicts):
+        if event.get("kind") in _VERDICT_KINDS:
+            return event
+    # UB raised outside the memory model (e.g. signed overflow in the
+    # interpreter) reaches the trace only via the outcome record.
+    for event in reversed(dicts):
+        if event.get("kind") == "run.outcome" and \
+                (event.get("ub") or event.get("trap")):
+            return event
+    for kind_set in (_NOTABLE_KINDS, ("run.outcome",)):
+        for event in reversed(dicts):
+            if event.get("kind") in kind_set:
+                return event
+    return dicts[-1] if dicts else None
+
+
+def explaining_signature(events: Sequence[Event | dict]) -> tuple | None:
+    """A comparable fingerprint of *why* the run ended as it did.
+
+    Two traces share a signature when their explaining events have the
+    same kind and the same verdict payload (the UB catalogue entry, the
+    trap kind, or the ghost transition).  Addresses and step numbers are
+    deliberately excluded so shrinking can move code around.
+    """
+    target = final_event(events)
+    if target is None:
+        return None
+    return (target.get("kind"),
+            target.get("ub"),
+            target.get("trap"),
+            target.get("ghost"),
+            target.get("reason"))
+
+
+def _focus_keys(target: dict) -> tuple[int | None, int | None]:
+    alloc = target.get("alloc")
+    iota = target.get("iota")
+    return (alloc if isinstance(alloc, int) else None,
+            iota if isinstance(iota, int) else None)
+
+
+def _related(event: dict, alloc: int | None, iota: int | None) -> bool:
+    if alloc is None and iota is None:
+        return True
+    if alloc is not None and event.get("alloc") == alloc:
+        return True
+    if iota is not None and event.get("iota") == iota:
+        return True
+    if alloc is not None and event.get("kind") == "prov.iota_resolve" \
+            and event.get("chosen") == alloc:
+        return True
+    if alloc is not None and alloc in (event.get("candidates") or ()):
+        return True
+    return False
+
+
+def causal_chain(events: Sequence[Event | dict],
+                 target: dict | None = None) -> list[dict]:
+    """The chain of events that shaped the target's capability: its
+    allocation, provenance transitions, and derivations, in order."""
+    dicts = _as_dicts(events)
+    if target is None:
+        target = final_event(dicts)
+    if target is None:
+        return []
+    alloc, iota = _focus_keys(target)
+    chain = [e for e in dicts
+             if e.get("kind") in _CHAIN_KINDS
+             and e.get("seq") != target.get("seq")
+             and (e.get("seq") or 0) <= (target.get("seq") or 0)
+             and _related(e, alloc, iota)]
+    return chain
+
+
+def _line(event: dict) -> str:
+    what = event.get("what", "")
+    return f"  step {event.get('step', 0):>4}  {event.get('kind', ''):<16} " \
+           f"{what}"
+
+
+def _verdict_sentence(target: dict, chain: list[dict]) -> str:
+    label = (target.get("ub") or target.get("trap")
+             or target.get("ghost") or target.get("kind"))
+    alloc, iota = _focus_keys(target)
+    parts = [f"verdict: {label}"]
+    created = next((e for e in chain if e.get("kind") == "alloc.create"), None)
+    if alloc is not None:
+        prov = f"@{alloc}"
+        if created is not None:
+            parts.append(
+                f"because the capability carries provenance {prov} "
+                f"(allocation {prov} '{created.get('name', '')}' created at "
+                f"step {created.get('step', 0)}, object "
+                f"[{created.get('base', '?')}-{created.get('top', '?')}))")
+        else:
+            parts.append(f"because the capability carries provenance {prov}")
+    elif iota is not None:
+        fresh = next((e for e in chain
+                      if e.get("kind") == "prov.iota_fresh"
+                      and e.get("iota") == iota), None)
+        cands = fresh.get("candidates") if fresh else None
+        parts.append(
+            f"because the pointer carries symbolic provenance @iota{iota}"
+            + (f" (candidates {cands}, created at step "
+               f"{fresh.get('step', 0)})" if fresh else ""))
+    else:
+        parts.append("with no allocation provenance (empty)")
+    derivs = [e for e in chain
+              if e.get("kind", "").startswith(("deriv.", "cap.",
+                                               "intrinsic."))]
+    if derivs:
+        last = derivs[-1]
+        name = last.get("name") or last.get("kind")
+        parts.append(f"and was last derived by {name} at step "
+                     f"{last.get('step', 0)}")
+    exposures = [e for e in chain if e.get("kind") == "prov.expose"]
+    if exposures:
+        parts.append(f"(exposed at step {exposures[-1].get('step', 0)})")
+    return " ".join(parts) + "."
+
+
+def explain(events: Sequence[Event | dict],
+            outcome: str | None = None) -> str:
+    """Render the causal explanation of a trace as text."""
+    dicts = _as_dicts(events)
+    lines = ["== explain =="]
+    if outcome is not None:
+        lines.append(f"outcome: {outcome}")
+    target = final_event(dicts)
+    if target is None:
+        lines.append("empty trace: nothing to explain")
+        return "\n".join(lines) + "\n"
+    lines.append(f"target:  step {target.get('step', 0):>4}  "
+                 f"{target.get('kind', ''):<16} {target.get('what', '')}")
+    chain = causal_chain(dicts, target)
+    shown = chain[-_MAX_CHAIN:]
+    lines.append(f"causal chain ({len(chain)} events"
+                 + (f", last {len(shown)} shown" if len(shown) < len(chain)
+                    else "") + "):")
+    lines.extend(_line(e) for e in shown)
+    lines.append(_verdict_sentence(target, chain))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,102 @@
+"""Per-run metrics: counters and wall time over the event stream.
+
+``Metrics`` subscribes to the same bus as the recorder and aggregates:
+
+* event counts by kind (``events.alloc.create`` etc.);
+* UB checks by catalogue entry (``ub.UB_CHERI_BoundsViolation``), from
+  ``check.ub`` events;
+* hardware traps by kind, from ``check.trap`` events;
+* derivations (``deriv.*``), allocator churn (``region.reserve`` plus
+  bytes reserved/padding), interpreter step count, and wall time.
+
+The runner stamps the step count and wall time (:meth:`start` /
+:meth:`finish`); everything else accumulates from events.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.obs.events import Event, EventBus
+
+
+class Metrics:
+    """Counter/timer aggregation for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.steps = 0
+        self.wall_seconds = 0.0
+        self._started: float | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "Metrics":
+        bus.subscribe(self.observe)
+        return self
+
+    def start(self) -> "Metrics":
+        self._started = time.perf_counter()
+        return self
+
+    def finish(self, steps: int | None = None) -> "Metrics":
+        if self._started is not None:
+            self.wall_seconds = time.perf_counter() - self._started
+            self._started = None
+        if steps is not None:
+            self.steps = steps
+        return self
+
+    # -- accumulation ---------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        self.counters[f"events.{event.kind}"] += 1
+        if event.kind == "check.ub":
+            self.counters[f"ub.{event.data.get('ub', '?')}"] += 1
+        elif event.kind == "check.trap":
+            self.counters[f"trap.{event.data.get('trap', '?')}"] += 1
+        elif event.kind.startswith("deriv."):
+            self.counters["derivations"] += 1
+        elif event.kind == "region.reserve":
+            self.counters["allocator.reserved_bytes"] += \
+                int(event.data.get("padded_size", 0))
+            self.counters["allocator.padding_bytes"] += \
+                int(event.data.get("padded_size", 0)) - \
+                int(event.data.get("size", 0))
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.counters[key] += n
+
+    # -- reporting ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def summary(self) -> str:
+        """Stable text rendering for ``--metrics`` output."""
+        lines = [
+            f"interp steps        {self.steps}",
+            f"wall time           {self.wall_seconds * 1000:.2f} ms",
+        ]
+        ub = {k: v for k, v in self.counters.items() if k.startswith("ub.")}
+        traps = {k: v for k, v in self.counters.items()
+                 if k.startswith("trap.")}
+        events = {k: v for k, v in self.counters.items()
+                  if k.startswith("events.")}
+        other = {k: v for k, v in self.counters.items()
+                 if not (k.startswith(("ub.", "trap.", "events.")))}
+        for title, table in (("ub checks failed", ub),
+                             ("hardware traps", traps),
+                             ("counters", other),
+                             ("events", events)):
+            if not table:
+                continue
+            lines.append(f"{title}:")
+            for key in sorted(table):
+                lines.append(f"  {key:34s} {table[key]}")
+        return "\n".join(lines) + "\n"

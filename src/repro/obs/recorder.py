@@ -1,0 +1,85 @@
+"""Trace capture: full or ring-buffered, serialised as JSONL.
+
+``TraceRecorder`` subscribes to an :class:`~repro.obs.events.EventBus`
+and keeps the events it sees.  Ring mode (``ring=N``) keeps only the
+last ``N`` events in a :class:`collections.deque`, which is what the
+fuzzer uses to keep tracing cheap enough to stay on: the explainer only
+ever needs the tail of the trace (the final divergent event and its
+causal ancestors), and allocation events for long-lived objects are
+re-derivable from the memory state.
+
+The JSONL schema is one event per line::
+
+    {"seq": 17, "step": 41, "kind": "alloc.create", "alloc": 7, ...}
+
+``seq``/``step``/``kind`` are always present; the remaining keys are the
+event payload (documented per kind in docs/SEMANTICS.md).  A trace file
+is self-describing and diffable; ``repro trace --jsonl`` writes it.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+from typing import IO, Iterable
+
+from repro.obs.events import Event, EventBus
+
+
+class TraceRecorder:
+    """Capture events from a bus; optionally bounded (ring buffer)."""
+
+    def __init__(self, ring: int | None = None) -> None:
+        if ring is not None and ring <= 0:
+            raise ValueError("ring size must be positive")
+        self.ring = ring
+        self._events: collections.deque[Event] | list[Event]
+        self._events = collections.deque(maxlen=ring) if ring else []
+        #: Total events seen, including any that fell off the ring.
+        self.seen = 0
+
+    def attach(self, bus: EventBus) -> "TraceRecorder":
+        bus.subscribe(self.record)
+        return self
+
+    def record(self, event: Event) -> None:
+        self.seen += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (0 in full mode)."""
+        return self.seen - len(self._events)
+
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self._events]
+
+    def write_jsonl(self, target: str | pathlib.Path | IO[str]) -> int:
+        """Write the captured trace as JSONL; returns the event count."""
+        events = self.events()
+        if hasattr(target, "write"):
+            _write_lines(target, events)  # type: ignore[arg-type]
+        else:
+            path = pathlib.Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8") as handle:
+                _write_lines(handle, events)
+        return len(events)
+
+
+def _write_lines(handle: IO[str], events: Iterable[Event]) -> None:
+    for event in events:
+        handle.write(json.dumps(event.to_dict(), sort_keys=False) + "\n")
+
+
+def load_jsonl(source: str | pathlib.Path | IO[str]) -> list[dict]:
+    """Read a JSONL trace back into event dicts (for the explainer)."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = pathlib.Path(source).read_text(encoding="utf-8")
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

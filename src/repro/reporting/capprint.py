@@ -21,10 +21,19 @@ from repro.memory.provenance import Provenance
 
 def format_capability(cap: Capability, prov: Provenance | None = None, *,
                       hardware: bool = False) -> str:
-    """Render one capability; ``prov`` enables the Cerberus style."""
+    """Render one capability; ``prov`` enables the Cerberus style.
+
+    Hardware rendering has no provenance component (provenance does not
+    exist at runtime), so passing both ``prov`` and ``hardware=True`` is
+    a caller bug -- the provenance would be silently dropped -- and
+    raises :class:`ValueError`.
+    """
     if hardware:
-        body = _hw_body(cap)
-        return body
+        if prov is not None:
+            raise ValueError(
+                "format_capability: prov given with hardware=True; "
+                "hardware capabilities carry no provenance")
+        return _hw_body(cap)
     return f"({(prov or Provenance.empty()).describe()}, {_abs_body(cap)})"
 
 

@@ -77,6 +77,12 @@ def render_fuzz_summary(report) -> str:
                      f"cause:")
         for group in findings:
             lines.append(f"  {group.describe()}")
+            div = group.example_divergence
+            if div is not None and div.evidence is not None:
+                lines.append(f"  reference explaining event: "
+                             f"step {div.evidence.get('step', 0)} "
+                             f"{div.evidence.get('kind', '')} "
+                             f"{div.evidence.get('what', '')}")
             if group.minimized_source:
                 lines.append("  minimized reproducer:")
                 lines.extend("    " + line for line in
@@ -89,6 +95,11 @@ def render_fuzz_summary(report) -> str:
         lines.append(f"Corpus: wrote {len(report.corpus_paths)} minimized "
                      f"case(s):")
         lines.extend(f"  {path}" for path in report.corpus_paths)
+    if report.trace_paths:
+        lines.append("")
+        lines.append(f"Traces: wrote {len(report.trace_paths)} reference "
+                     f"trace(s):")
+        lines.extend(f"  {path}" for path in report.trace_paths)
     return "\n".join(lines) + "\n"
 
 

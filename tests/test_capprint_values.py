@@ -52,6 +52,21 @@ class TestCapPrint:
         assert Provenance.alloc(5).describe() == "@5"
         assert Provenance.symbolic(2).describe() == "@iota2"
 
+    def test_hardware_with_prov_raises(self, cap):
+        """Hardware rendering has no provenance; passing one is a
+        caller bug and must not be silently dropped."""
+        with pytest.raises(ValueError, match="no provenance"):
+            format_capability(cap, Provenance.alloc(86), hardware=True)
+        with pytest.raises(ValueError, match="no provenance"):
+            format_capability(cap, Provenance.empty(), hardware=True)
+
+    def test_golden_both_styles(self, cap):
+        """The exact Appendix-A renderings, both styles, one capability."""
+        assert format_capability(cap, Provenance.alloc(86)) == \
+            "(@86, 0xffffe6dc [rwRWxBCEGMSLYU0123,0xffffe6dc-0xffffe6e4])"
+        assert format_capability(cap, hardware=True) == \
+            "0xffffe6dc [rwRWxBCEGMSLYU0123,0xffffe6dc-0xffffe6e4]"
+
 
 class TestIntegerValue:
     def test_exactly_one_arm(self):

@@ -70,6 +70,61 @@ def test_list_implementations(capsys):
     assert "cerberus" in out and "gcc-morello-O3" in out
 
 
+def test_list_is_sorted_and_shows_model_options(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split()[0] for line in out.splitlines()
+             if line and not line.startswith(" ")]
+    assert names == sorted(names)
+    # Every implementation carries a memory-model options line.
+    option_lines = [line for line in out.splitlines()
+                    if line.startswith(" ")]
+    assert len(option_lines) == len(names)
+    assert all("mode=" in line and "intptr=" in line
+               and "subobject-bounds=" in line for line in option_lines)
+    assert any("mode=hardware" in line for line in option_lines)
+    assert any("oob=arch_representable" in line for line in option_lines)
+
+
+def test_run_with_metrics(prog, capsys):
+    assert main([prog, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "interp steps" in out
+    assert "events.alloc.create" in out
+
+
+def test_trace_human_readable(prog, capsys):
+    assert main(["trace", prog]) == 0
+    out = capsys.readouterr().out
+    assert "alloc.create" in out
+    assert "run.outcome" in out
+
+
+def test_trace_jsonl_and_explain(ub_prog, tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    status = main(["trace", ub_prog, "--jsonl", str(out_path),
+                   "--explain"])
+    captured = capsys.readouterr()
+    assert status == 1
+    assert out_path.exists()
+    import json
+    events = [json.loads(line)
+              for line in out_path.read_text().splitlines()]
+    assert events[0]["seq"] == 1
+    assert any(e["kind"] == "check.ub" for e in events)
+    assert "== explain ==" in captured.out
+    assert "UB_CHERI_BoundsViolation" in captured.out
+
+
+def test_trace_ring_bounds_events(prog, tmp_path, capsys):
+    out_path = tmp_path / "ring.jsonl"
+    assert main(["trace", prog, "--ring", "5",
+                 "--jsonl", str(out_path)]) == 0
+    capsys.readouterr()
+    lines = out_path.read_text().splitlines()
+    assert len(lines) == 5
+
+
 def test_file_required_without_report(capsys):
     with pytest.raises(SystemExit):
         main([])

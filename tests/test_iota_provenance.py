@@ -1,0 +1,153 @@
+"""Symbolic (``iota``) provenance resolution: the PNVI-ae-udi cases.
+
+S2.3: an integer-to-pointer cast whose address sits exactly on the
+boundary between two exposed allocations -- one-past the end of ``a``
+and the start of ``b`` -- cannot be attributed to either allocation at
+cast time.  PNVI-ae-udi defers the decision ("user-disambiguation"): the
+cast yields a *symbolic* provenance ``@iotaN`` with both candidates, and
+the first use that is unambiguous collapses it.  A use compatible with
+neither candidate is UB.
+
+These tests drive the memory model directly and observe the transitions
+through the event-trace subsystem (``prov.iota_fresh`` /
+``prov.iota_resolve``).
+"""
+
+import pytest
+
+from repro.capability import MORELLO
+from repro.ctypes import CHAR, UINTPTR
+from repro.errors import UB, UndefinedBehaviour
+from repro.impls.registry import CERBERUS_MAP
+from repro.memory import IntegerValue, MVInteger
+from repro.memory.model import MemoryModel, Mode
+from repro.memory.provenance import Provenance
+from repro.memory.values import PointerValue
+from repro.obs import EventBus, TraceRecorder
+
+
+@pytest.fixture
+def traced_model():
+    bus = EventBus()
+    recorder = TraceRecorder()
+    recorder.attach(bus)
+    model = MemoryModel(MORELLO, Mode.ABSTRACT, CERBERUS_MAP, bus=bus)
+    return model, recorder
+
+
+def _adjacent_exposed(model):
+    """Two adjacent exposed heap allocations; returns their pointers."""
+    a = model.allocate_region(16)
+    b = model.allocate_region(16)
+    # Heap bump allocation at representable granularity: 16-byte
+    # regions need no padding, so the two footprints abut.
+    assert a.cap.top == b.cap.base
+    model.ptr_to_int(a, UINTPTR.kind)   # exposes a
+    model.ptr_to_int(b, UINTPTR.kind)   # exposes b
+    return a, b
+
+
+def _boundary_cast(model, a, b):
+    """Cast a capability-carrying integer whose provenance was lost and
+    whose address is the a/b boundary back to a pointer."""
+    ival = IntegerValue.of_cap(b.cap, False, Provenance.empty())
+    return model.int_to_ptr(ival, CHAR)
+
+
+class TestBoundaryCast:
+    def test_boundary_cast_yields_symbolic_provenance(self, traced_model):
+        model, recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        assert ptr.prov.is_symbolic
+        fresh = [e for e in recorder.events()
+                 if e.kind == "prov.iota_fresh"]
+        assert len(fresh) == 1
+        assert sorted(fresh[0].data["candidates"]) == \
+            sorted([model.allocation_of(a).ident,
+                    model.allocation_of(b).ident])
+
+    def test_interior_cast_resolves_immediately(self, traced_model):
+        model, recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        inner = IntegerValue.of_cap(b.cap.with_address(b.address + 4),
+                                    False, Provenance.empty())
+        ptr = model.int_to_ptr(inner, CHAR)
+        assert not ptr.prov.is_symbolic
+        assert ptr.prov.ident == model.allocation_of(b).ident
+        assert not [e for e in recorder.events()
+                    if e.kind == "prov.iota_fresh"]
+
+    def test_unexposed_neighbour_is_not_a_candidate(self, traced_model):
+        model, _recorder = traced_model
+        a = model.allocate_region(16)
+        b = model.allocate_region(16)
+        model.ptr_to_int(b, UINTPTR.kind)   # only b exposed
+        ptr = _boundary_cast(model, a, b)
+        assert not ptr.prov.is_symbolic
+        assert ptr.prov.ident == model.allocation_of(b).ident
+
+
+class TestFirstUseDisambiguation:
+    def test_store_at_boundary_resolves_to_the_start_of_b(
+            self, traced_model):
+        model, recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        # The boundary address is one-past a (no byte of a reachable)
+        # and the first byte of b: only b can satisfy a size-1 store.
+        model.store(CHAR, ptr,
+                    MVInteger(CHAR, IntegerValue.of_int(7)))
+        resolves = [e for e in recorder.events()
+                    if e.kind == "prov.iota_resolve"]
+        assert len(resolves) == 1
+        assert resolves[0].data["chosen"] == model.allocation_of(b).ident
+        assert resolves[0].data["iota"] == ptr.prov.ident
+        # The state's candidate set collapsed for every later use.
+        assert model.state.iota_candidates(ptr.prov.ident) == \
+            (model.allocation_of(b).ident,)
+
+    def test_resolution_is_sticky(self, traced_model):
+        model, recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        model.store(CHAR, ptr, MVInteger(CHAR, IntegerValue.of_int(1)))
+        model.load(CHAR, ptr)
+        resolves = [e for e in recorder.events()
+                    if e.kind == "prov.iota_resolve"]
+        assert len(resolves) == 1   # second use does not re-resolve
+
+
+class TestNeitherCandidateMatches:
+    def test_use_after_both_candidates_die_is_ub(self, traced_model):
+        model, recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        model.free(a)
+        model.free(b)
+        with pytest.raises(UndefinedBehaviour) as excinfo:
+            model.load(CHAR, ptr)
+        assert excinfo.value.ub in (UB.EMPTY_PROVENANCE_ACCESS,
+                                    UB.ACCESS_DEAD_ALLOCATION)
+        verdicts = [e for e in recorder.events() if e.kind == "check.ub"]
+        assert verdicts
+        assert verdicts[-1].data["iota"] == ptr.prov.ident
+
+    def test_access_fitting_no_candidate_is_ub(self, traced_model):
+        model, _recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        model.free(b)
+        # a is still alive, but the boundary address is one-past a: no
+        # candidate can carry a one-byte access there.
+        with pytest.raises(UndefinedBehaviour):
+            model.load(CHAR, ptr)
+
+    def test_symbolic_pointer_still_symbolic_until_use(self, traced_model):
+        model, _recorder = traced_model
+        a, b = _adjacent_exposed(model)
+        ptr = _boundary_cast(model, a, b)
+        # Casting back to an integer does not force resolution.
+        back = model.ptr_to_int(ptr, UINTPTR.kind)
+        assert back.prov.is_symbolic
+        assert isinstance(ptr, PointerValue)
