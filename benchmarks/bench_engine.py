@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Engine benchmark: serial vs cached vs parallel suite + fuzz runs.
+
+Measures the execution engine (:mod:`repro.perf`) on its two real
+workloads and appends one entry to the ``BENCH_engine.json`` trajectory
+at the repository root:
+
+* the S5 compliance comparison (``repro compare``) -- serial uncached
+  baseline, cold-cache serial, and cached + parallel (``--jobs``);
+* differential fuzzing throughput (``repro fuzz``) -- serial vs
+  parallel candidate evaluation for a fixed seed and iteration count.
+
+Correctness is part of the benchmark: the run **fails (exit 1) if the
+parallel compliance report or the parallel fuzz groups diverge from the
+serial ones**, so CI's benchmark smoke job doubles as a determinism
+gate for the worker pool.
+
+Usage::
+
+    python benchmarks/bench_engine.py [--quick] [--jobs N]
+                                      [--output BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if not any((pathlib.Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fuzz.driver import run_fuzz                      # noqa: E402
+from repro.impls import ALL_IMPLEMENTATIONS                 # noqa: E402
+from repro.perf import clear_cache, global_cache, resolve_jobs  # noqa: E402
+from repro.reporting.tables import render_compliance        # noqa: E402
+from repro.testsuite.compare import compare_implementations  # noqa: E402
+from repro.testsuite.suite import all_cases                 # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_compare(cases, jobs):
+    """The three engine configurations over the compliance comparison."""
+    clear_cache()
+    serial, t_serial = timed(lambda: compare_implementations(
+        ALL_IMPLEMENTATIONS, cases, jobs=1, use_cache=False))
+
+    clear_cache()
+    cached, t_cached = timed(lambda: compare_implementations(
+        ALL_IMPLEMENTATIONS, cases, jobs=1, use_cache=True))
+    cache_stats = global_cache().stats.to_dict()
+
+    clear_cache()
+    parallel, t_parallel = timed(lambda: compare_implementations(
+        ALL_IMPLEMENTATIONS, cases, jobs=jobs, use_cache=True))
+
+    reports = {
+        "serial": render_compliance(serial),
+        "cached": render_compliance(cached),
+        "parallel": render_compliance(parallel),
+    }
+    timings = {
+        "serial_uncached_s": round(t_serial, 4),
+        "cached_s": round(t_cached, 4),
+        "cached_parallel_s": round(t_parallel, 4),
+        "speedup_cached": round(t_serial / t_cached, 3),
+        "speedup_cached_parallel": round(t_serial / t_parallel, 3),
+        "compile_cache": cache_stats,
+    }
+    return reports, timings
+
+
+def fuzz_signature(report):
+    """The order-sensitive content of a fuzz report (for equality)."""
+    return {
+        "iterations": report.iterations,
+        "reference_counts": report.reference_counts,
+        "groups": [g.describe() for g in report.sorted_groups()],
+        "minimized": sorted(g.minimized_source or ""
+                            for g in report.groups),
+    }
+
+
+def bench_fuzz(seed, iterations, jobs, shrink_budget):
+    clear_cache()
+    serial, t_serial = timed(lambda: run_fuzz(
+        seed=seed, iterations=iterations, jobs=1,
+        shrink_budget=shrink_budget, use_cache=True))
+    clear_cache()
+    parallel, t_parallel = timed(lambda: run_fuzz(
+        seed=seed, iterations=iterations, jobs=jobs,
+        shrink_budget=shrink_budget, use_cache=True))
+    signatures = {
+        "serial": fuzz_signature(serial),
+        "parallel": fuzz_signature(parallel),
+    }
+    timings = {
+        "iterations": iterations,
+        "serial_s": round(t_serial, 4),
+        "parallel_s": round(t_parallel, 4),
+        "serial_programs_per_s": round(iterations / t_serial, 3),
+        "parallel_programs_per_s": round(iterations / t_parallel, 3),
+        "speedup_parallel": round(t_serial / t_parallel, 3),
+    }
+    return signatures, timings
+
+
+def append_trajectory(path: pathlib.Path, entry: dict) -> None:
+    trajectory = {"schema": SCHEMA_VERSION, "benchmark": "engine",
+                  "entries": []}
+    if path.exists():
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    trajectory["entries"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker count for the parallel runs "
+                             "(default: all cores)")
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_engine.json"),
+                        metavar="FILE",
+                        help="trajectory file to append to")
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    cases = all_cases()
+    if args.quick:
+        cases = cases[:30]
+    fuzz_iterations = 24 if args.quick else 80
+    shrink_budget = 20 if args.quick else 60
+
+    print(f"engine benchmark: {len(cases)} suite cases x "
+          f"{len(ALL_IMPLEMENTATIONS)} impls, {fuzz_iterations} fuzz "
+          f"iterations, jobs={jobs} "
+          f"({os.cpu_count()} cores)", flush=True)
+
+    compare_reports, compare_timings = bench_compare(cases, jobs)
+    fuzz_signatures, fuzz_timings = bench_fuzz(
+        seed=0, iterations=fuzz_iterations, jobs=jobs,
+        shrink_budget=shrink_budget)
+
+    ok = True
+    if compare_reports["cached"] != compare_reports["serial"]:
+        print("FAIL: cached compliance report diverges from serial",
+              file=sys.stderr)
+        ok = False
+    if compare_reports["parallel"] != compare_reports["serial"]:
+        print("FAIL: parallel compliance report diverges from serial",
+              file=sys.stderr)
+        ok = False
+    if fuzz_signatures["parallel"] != fuzz_signatures["serial"]:
+        print("FAIL: parallel fuzz report diverges from serial",
+              file=sys.stderr)
+        ok = False
+
+    entry = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "quick": args.quick,
+        "cores": os.cpu_count(),
+        "jobs": jobs,
+        "suite_cases": len(cases),
+        "implementations": len(ALL_IMPLEMENTATIONS),
+        "compare": compare_timings,
+        "fuzz": fuzz_timings,
+        "deterministic": ok,
+    }
+    output = pathlib.Path(args.output)
+    append_trajectory(output, entry)
+
+    print(f"compliance: serial {compare_timings['serial_uncached_s']}s, "
+          f"cached {compare_timings['cached_s']}s "
+          f"({compare_timings['speedup_cached']}x), "
+          f"cached+parallel {compare_timings['cached_parallel_s']}s "
+          f"({compare_timings['speedup_cached_parallel']}x)")
+    print(f"fuzz: serial {fuzz_timings['serial_programs_per_s']} "
+          f"programs/s, parallel "
+          f"{fuzz_timings['parallel_programs_per_s']} programs/s "
+          f"({fuzz_timings['speedup_parallel']}x)")
+    print(f"{'OK' if ok else 'DIVERGENCE'}: trajectory entry appended "
+          f"to {output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,17 @@ Usage::
     cheri-run --report table1        # regenerate Table 1
     cheri-run --report compliance    # the S5 comparison
     cheri-run --list                 # list known implementations
-    repro fuzz --seed 0 --iterations 200
+    repro suite --impl gcc-morello-O0 --jobs 4
+    repro compare --jobs 4           # parallel S5 compliance report
+    repro fuzz --seed 0 --iterations 200 --jobs 4
     repro fuzz --seed 0 --time-budget 30 --corpus-dir tests/corpus
     repro trace test.c --explain     # semantic event trace + UB explainer
     repro trace test.c --jsonl out.jsonl --metrics
+
+``--jobs N`` fans runs across N worker processes (0 = all cores) with
+results stitched back in input order, so reports are bit-identical to
+serial runs; ``--no-compile-cache`` disables the shared compilation
+cache (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -21,6 +28,25 @@ import argparse
 import sys
 
 from repro.impls import ALL_IMPLEMENTATIONS, by_name
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine flags shared by run/suite/compare/fuzz."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan runs across N worker processes "
+                             "(0 = all cores; default: 1, serial)")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="disable the shared compilation cache "
+                             "(each run re-parses and re-optimises)")
+
+
+def _apply_cache_flag(args) -> bool:
+    """Set the process-wide cache switch; returns the use_cache value
+    to thread into worker processes."""
+    from repro.perf import set_cache_enabled
+    use_cache = not args.no_compile_cache
+    set_cache_enabled(use_cache)
+    return use_cache
 
 
 def fuzz_main(argv: list[str]) -> int:
@@ -54,7 +80,9 @@ def fuzz_main(argv: list[str]) -> int:
                              "reference trace's explaining signature")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-iteration progress output")
+    _add_engine_flags(parser)
     args = parser.parse_args(argv)
+    use_cache = _apply_cache_flag(args)
 
     from repro.fuzz import run_fuzz
     from repro.reporting.tables import render_fuzz_summary
@@ -73,9 +101,79 @@ def fuzz_main(argv: list[str]) -> int:
         save_known=args.save_known,
         trace_dir=args.trace_dir,
         preserve_explanation=args.preserve_explanation,
-        progress=progress)
+        progress=progress,
+        jobs=args.jobs,
+        use_cache=use_cache)
     print(render_fuzz_summary(report), end="")
     return 0 if report.ok else 1
+
+
+def _select_cases(names: list[str] | None):
+    """Resolve ``--case`` filters against the suite (None = full)."""
+    from repro.testsuite.suite import all_cases
+    if not names:
+        return None
+    by_case_name = {case.name: case for case in all_cases()}
+    unknown = [name for name in names if name not in by_case_name]
+    if unknown:
+        raise SystemExit(f"unknown test case(s): {', '.join(unknown)}; "
+                         f"known cases: {', '.join(sorted(by_case_name))}")
+    return tuple(by_case_name[name] for name in names)
+
+
+def suite_main(argv: list[str]) -> int:
+    """The ``suite`` subcommand: the validation suite on one impl."""
+    parser = argparse.ArgumentParser(
+        prog="repro suite",
+        description="Run the 94-test validation suite against one "
+                    "implementation and report pass/fail/no-claim")
+    parser.add_argument("--impl", default="cerberus",
+                        help="implementation name (default: cerberus)")
+    parser.add_argument("--case", action="append", default=None,
+                        metavar="NAME",
+                        help="run only this case (repeatable)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print merged run metrics for the suite")
+    _add_engine_flags(parser)
+    args = parser.parse_args(argv)
+    use_cache = _apply_cache_flag(args)
+
+    from repro.testsuite.compare import run_suite
+
+    report = run_suite(by_name(args.impl), _select_cases(args.case),
+                       jobs=args.jobs, with_metrics=args.metrics,
+                       use_cache=use_cache)
+    print(report.summary_line())
+    for result in report.failures():
+        expected = result.expected.describe() if result.expected else "?"
+        print(f"  FAIL {result.case.name}: expected {expected}, "
+              f"got {result.outcome.describe()}")
+    if args.metrics and report.metrics is not None:
+        sys.stdout.write(report.metrics.summary())
+    return 0 if report.failed == 0 else 1
+
+
+def compare_main(argv: list[str]) -> int:
+    """The ``compare`` subcommand: the S5 compliance comparison."""
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Run the validation suite against every registered "
+                    "implementation and render the S5 compliance report")
+    parser.add_argument("--case", action="append", default=None,
+                        metavar="NAME",
+                        help="compare only this case (repeatable)")
+    _add_engine_flags(parser)
+    args = parser.parse_args(argv)
+    use_cache = _apply_cache_flag(args)
+
+    from repro.reporting.tables import render_compliance
+    from repro.testsuite.compare import compare_implementations
+
+    reports = compare_implementations(ALL_IMPLEMENTATIONS,
+                                      _select_cases(args.case),
+                                      jobs=args.jobs, use_cache=use_cache)
+    print(render_compliance(reports))
+    return 0 if all(report.failed == 0 for report in reports) else 1
 
 
 def trace_main(argv: list[str]) -> int:
@@ -147,6 +245,12 @@ def main(argv: list[str] | None = None) -> int:
         return fuzz_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "suite":
+        return suite_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     return _run_main(argv)
 
 
@@ -168,7 +272,9 @@ def _run_main(argv: list[str]) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print run metrics (event counts, UB "
                              "verdicts, allocator totals) after the run")
+    _add_engine_flags(parser)
     args = parser.parse_args(argv)
+    use_cache = _apply_cache_flag(args)
 
     if args.list:
         from repro.impls.registry import _BY_NAME
@@ -187,7 +293,9 @@ def _run_main(argv: list[str]) -> int:
             print(render_table1())
         else:
             from repro.testsuite.compare import compare_implementations
-            reports = compare_implementations(ALL_IMPLEMENTATIONS)
+            reports = compare_implementations(ALL_IMPLEMENTATIONS,
+                                              jobs=args.jobs,
+                                              use_cache=use_cache)
             print(render_compliance(reports))
         return 0
 

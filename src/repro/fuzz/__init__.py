@@ -27,7 +27,12 @@ whole implementation registry:
 """
 
 from repro.fuzz.corpus import CorpusCase, load_case, load_corpus, save_case
-from repro.fuzz.driver import FuzzReport, run_fuzz
+from repro.fuzz.driver import (
+    FuzzReport,
+    iteration_seed,
+    program_for,
+    run_fuzz,
+)
 from repro.fuzz.evidence import (
     capture_trace,
     reference_evidence,
@@ -56,9 +61,11 @@ __all__ = [
     "ProgramVerdict",
     "capture_trace",
     "evaluate_program",
+    "iteration_seed",
     "load_case",
     "load_corpus",
     "outcome_signature",
+    "program_for",
     "reference_evidence",
     "reference_signature",
     "run_fuzz",

@@ -30,10 +30,47 @@ from repro.fuzz.oracle import (
     evaluate_program,
 )
 from repro.fuzz.shrinker import shrink
+from repro.perf.cache import set_cache_enabled
+from repro.perf.pool import parallel_map
 
 #: Default iteration count when neither --iterations nor --time-budget
 #: is given.
 DEFAULT_ITERATIONS = 100
+
+
+def iteration_seed(seed: int, index: int) -> str:
+    """The stable seed for iteration ``index`` of campaign ``seed``.
+
+    A string, not ``hash((seed, index))``: :class:`random.Random` seeds
+    strings through SHA-512, so the derivation is independent of
+    ``PYTHONHASHSEED`` and identical on every platform.  Deriving per
+    iteration (instead of drawing from one sequential stream) makes
+    iteration ``i`` reproducible in isolation -- reordering, skipping,
+    or fanning iterations across workers cannot change what any
+    iteration generates.
+    """
+    return f"{seed}:{index}"
+
+
+def program_for(seed: int, index: int) -> FuzzProgram:
+    """Generate the program of iteration ``index`` in isolation."""
+    rng = random.Random(iteration_seed(seed, index))
+    return ProgramGenerator(rng).generate()
+
+
+def _evaluate_iteration(task):
+    """Worker body: generate and classify one iteration's program.
+
+    Top-level and argument-picklable so the worker pool can ship it;
+    the serial path runs the identical function in-process.
+    """
+    seed, index, targets, use_cache = task
+    if use_cache is not None:
+        # Worker processes apply the campaign's cache switch locally
+        # (the parent's global switch does not travel under spawn).
+        set_cache_enabled(use_cache)
+    program = program_for(seed, index)
+    return program, evaluate_program(program, targets)
 
 
 def _kind_token(described: str) -> str:
@@ -151,6 +188,8 @@ def run_fuzz(seed: int = 0,
              trace_dir: pathlib.Path | str | None = None,
              preserve_explanation: bool = False,
              progress: Callable[[int, "FuzzReport"], None] | None = None,
+             jobs: int = 1,
+             use_cache: bool | None = None,
              ) -> FuzzReport:
     """Run the differential fuzzing loop.
 
@@ -159,6 +198,15 @@ def run_fuzz(seed: int = 0,
     neither is given).  Every divergence group's representative program
     is minimized before the report is returned.
 
+    Each iteration draws from its own derived seed
+    (:func:`iteration_seed`), so ``jobs > 1`` fans candidate evaluation
+    across worker processes with results merged in iteration order --
+    a parallel run with a fixed ``iterations`` count is bit-identical
+    to the serial one.  Under a ``time_budget`` the loop evaluates in
+    chunks of ``4 * jobs`` and may overshoot the budget by up to one
+    chunk (and the iteration count then depends on timing, exactly as
+    it does serially).
+
     ``trace_dir`` persists a full reference JSONL trace of every
     finding group's minimized reproducer.  ``preserve_explanation``
     makes shrinking of findings additionally preserve the reference
@@ -166,8 +214,6 @@ def run_fuzz(seed: int = 0,
     """
     if iterations is None and time_budget is None:
         iterations = DEFAULT_ITERATIONS
-    rng = random.Random(seed)
-    generator = ProgramGenerator(rng)
     report = FuzzReport(seed=seed)
     groups: dict[tuple, DivergenceGroup] = {}
     started = time.monotonic()
@@ -179,25 +225,30 @@ def run_fuzz(seed: int = 0,
         if time_budget is not None and \
                 time.monotonic() - started >= time_budget:
             break
-        program = generator.generate()
-        verdict = evaluate_program(program, targets)
-        label = _reference_label(verdict)
-        report.reference_counts[label] = \
-            report.reference_counts.get(label, 0) + 1
-        for div in verdict.divergences:
-            key = _group_key(div)
-            group = groups.get(key)
-            if group is None:
-                group = DivergenceGroup(
-                    impl_name=div.impl_name, cause=div.cause,
-                    reference_kind=key[2], observed_kind=key[3],
-                    first_iteration=index, example=program,
-                    example_divergence=div)
-                groups[key] = group
-            group.count += 1
-        index += 1
-        if progress is not None:
-            progress(index, report)
+        chunk = 1 if jobs <= 1 else 4 * jobs
+        if iterations is not None:
+            chunk = min(chunk, iterations - index)
+        tasks = [(seed, index + k, targets, use_cache)
+                 for k in range(chunk)]
+        for program, verdict in parallel_map(_evaluate_iteration, tasks,
+                                             jobs=jobs):
+            label = _reference_label(verdict)
+            report.reference_counts[label] = \
+                report.reference_counts.get(label, 0) + 1
+            for div in verdict.divergences:
+                key = _group_key(div)
+                group = groups.get(key)
+                if group is None:
+                    group = DivergenceGroup(
+                        impl_name=div.impl_name, cause=div.cause,
+                        reference_kind=key[2], observed_kind=key[3],
+                        first_iteration=index, example=program,
+                        example_divergence=div)
+                    groups[key] = group
+                group.count += 1
+            index += 1
+            if progress is not None:
+                progress(index, report)
 
     report.iterations = index
     report.groups = list(groups.values())

@@ -109,7 +109,9 @@ class FuzzTarget:
     def known_cause(self) -> Cause:
         """The configuration axis separating this target's matched
         reference from the global one, by attribution priority."""
-        if self.impl.arch is not CERBERUS.arch:
+        # Value comparison, not identity: targets that crossed a worker
+        # -process boundary carry unpickled (fresh) Architecture objects.
+        if self.impl.arch != CERBERUS.arch:
             return Cause.CAPABILITY_FORMAT
         if self.impl.options != CERBERUS.options:
             return Cause.MEMORY_MODEL_MODE

@@ -5,14 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.capability.abstract import Architecture
-from repro.core.cparser import parse_program
+from repro.core.cast import Program
 from repro.core.interp import Interpreter
-from repro.core.optimizer import optimize_program
 from repro.ctypes.layout import TargetLayout
 from repro.errors import CSyntaxError, CTypeError, Outcome
 from repro.memory.allocator import AddressMap
 from repro.memory.model import MemoryModel, Mode
 from repro.memory.options import PAPER_CHOICES, SemanticsOptions
+from repro.perf.cache import compile_program
 
 
 @dataclass(frozen=True)
@@ -52,17 +52,37 @@ class Implementation:
     def layout(self) -> TargetLayout:
         return TargetLayout(self.arch)
 
-    def run(self, source: str, main: str = "main", *, bus=None) -> Outcome:
+    def compile(self, source: str, *,
+                use_cache: bool | None = None) -> Program:
+        """The cacheable stage: parse + modelled optimisation.
+
+        The result depends only on ``(source, arch, opt_level,
+        subobject_bounds, options)``, so it is served from the
+        process-wide compilation cache (:mod:`repro.perf.cache`) unless
+        ``use_cache`` disables it.  Raises :class:`CSyntaxError` /
+        :class:`CTypeError` when the frontend rejects the program.
+        """
+        return compile_program(self, source, use_cache=use_cache)
+
+    def run_compiled(self, program: Program, main: str = "main", *,
+                     bus=None) -> Outcome:
+        """The run stage: interpret a compiled program on a fresh model.
+
+        Compiled programs are immutable (frozen-dataclass AST), so one
+        cached compile can back any number of concurrent runs.
+        """
+        model = self.fresh_model(bus=bus)
+        return Interpreter(program, model).run(main)
+
+    def run(self, source: str, main: str = "main", *, bus=None,
+            use_cache: bool | None = None) -> Outcome:
         """Compile (parse + modelled optimisation) and run one program.
 
         ``bus`` attaches an :class:`~repro.obs.events.EventBus` for the
         run (``repro trace``, fuzz evidence capture); None = untraced.
         """
-        model = self.fresh_model(bus=bus)
         try:
-            program = parse_program(source, model.layout)
-            program = optimize_program(program, model.layout,
-                                       self.opt_level)
+            program = self.compile(source, use_cache=use_cache)
         except (CSyntaxError, CTypeError) as exc:
             return Outcome.frontend_error(str(exc))
-        return Interpreter(program, model).run(main)
+        return self.run_compiled(program, main, bus=bus)

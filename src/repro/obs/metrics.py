@@ -37,15 +37,34 @@ class Metrics:
         return self
 
     def start(self) -> "Metrics":
+        if self._started is not None:
+            raise RuntimeError(
+                "Metrics.start() while the timer is already running; "
+                "call finish() first")
         self._started = time.perf_counter()
         return self
 
     def finish(self, steps: int | None = None) -> "Metrics":
-        if self._started is not None:
-            self.wall_seconds = time.perf_counter() - self._started
-            self._started = None
+        if self._started is None:
+            raise RuntimeError(
+                "Metrics.finish() without a matching start()")
+        self.wall_seconds += time.perf_counter() - self._started
+        self._started = None
         if steps is not None:
             self.steps = steps
+        return self
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold another run's metrics into this one (the worker-pool
+        aggregation path: one Metrics per case run, merged per report).
+        Wall time adds up to *total compute* time, which under a worker
+        pool exceeds elapsed wall-clock time."""
+        if other._started is not None:
+            raise RuntimeError("cannot merge a Metrics whose timer is "
+                               "still running")
+        self.counters.update(other.counters)
+        self.steps += other.steps
+        self.wall_seconds += other.wall_seconds
         return self
 
     # -- accumulation ---------------------------------------------------

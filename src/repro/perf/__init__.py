@@ -1,0 +1,43 @@
+"""Execution-engine performance layer: compile caching and fan-out.
+
+The S5 experiment and the fuzz loop both run the *same* program text on
+many implementation configurations.  Two facts make that cheap to
+exploit:
+
+* compilation (parse + modelled optimisation) is a pure function of
+  ``(source, arch, opt_level, subobject_bounds, options)`` -- the
+  address map and execution mode only matter at *run* time -- so one
+  compile can serve every implementation sharing those axes
+  (:mod:`repro.perf.cache`);
+* every run is deterministic and isolated (a fresh
+  :class:`~repro.memory.model.MemoryModel` per run), so runs can be
+  fanned out across worker processes and stitched back together in
+  input order with bit-identical results (:mod:`repro.perf.pool`).
+
+``repro run|suite|compare|fuzz`` expose both through ``--jobs N`` and
+``--no-compile-cache``; ``benchmarks/bench_engine.py`` tracks the
+resulting throughput in the ``BENCH_engine.json`` trajectory.
+"""
+
+from repro.perf.cache import (
+    CacheStats,
+    CompileCache,
+    cache_enabled,
+    clear_cache,
+    compile_program,
+    global_cache,
+    set_cache_enabled,
+)
+from repro.perf.pool import parallel_map, resolve_jobs
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "cache_enabled",
+    "clear_cache",
+    "compile_program",
+    "global_cache",
+    "parallel_map",
+    "resolve_jobs",
+    "set_cache_enabled",
+]

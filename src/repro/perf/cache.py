@@ -1,0 +1,161 @@
+"""The compilation cache behind :meth:`Implementation.compile`.
+
+Compilation -- lexing, parsing, and the modelled optimisation passes --
+is a pure function of ``(source, arch, opt_level, subobject_bounds,
+options)``.  Everything else an :class:`~repro.impls.config.Implementation`
+carries (address map, abstract-vs-hardware mode, revocation) only
+affects *running* the compiled program, so e.g. all four ``-O0``
+hardware implementations plus the reference can share a single parse of
+each test program.  The S5 comparison compiles each of the 94 programs
+twice (once per distinct opt level) instead of seven times, and the
+differential oracle compiles each generated program a handful of times
+instead of once per target.
+
+Two layers of reuse:
+
+* a *parse* memo keyed by ``(source, arch)`` -- the AST before
+  optimisation, shared across opt levels (AST nodes are frozen
+  dataclasses, so sharing is safe);
+* the *compiled* cache keyed by the full five-axis tuple, holding the
+  optimised program -- or the frontend error, so a program the frontend
+  rejects is rejected once, not once per implementation.
+
+Both are bounded LRU maps (entries evicted oldest-first), sized for a
+long fuzz campaign without unbounded growth.  The cache is per-process:
+worker processes forked by :mod:`repro.perf.pool` inherit the parent's
+entries at fork time and then populate their own copies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.cparser import parse_program
+from repro.core.optimizer import optimize_program
+from repro.errors import CSyntaxError, CTypeError
+
+#: Default entry bound for both cache layers.
+DEFAULT_MAXSIZE = 4096
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class CompileCache:
+    """LRU cache of compiled programs (and frontend rejections)."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        # key -> ("ok", Program) | ("error", CSyntaxError | CTypeError)
+        self._compiled: OrderedDict[tuple, tuple[str, object]] = OrderedDict()
+        self._parsed: OrderedDict[tuple, object] = OrderedDict()
+
+    @staticmethod
+    def key_for(impl, source: str) -> tuple:
+        """The compile identity of ``source`` under ``impl``: every
+        configuration axis that can change the compiled program, and
+        none of the run-only axes (address map, mode, revocation)."""
+        return (source, impl.arch.name, impl.opt_level,
+                impl.subobject_bounds, impl.options)
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def clear(self) -> None:
+        self._compiled.clear()
+        self._parsed.clear()
+        self.stats = CacheStats()
+
+    def compile(self, impl, source: str):
+        """Parse + optimise ``source`` for ``impl``, reusing any cached
+        artefact.  Raises :class:`CSyntaxError`/:class:`CTypeError`
+        exactly like the uncached frontend."""
+        key = self.key_for(impl, source)
+        entry = self._compiled.get(key)
+        if entry is not None:
+            self._compiled.move_to_end(key)
+            self.stats.hits += 1
+            tag, payload = entry
+            if tag == "error":
+                raise payload
+            return payload
+        self.stats.misses += 1
+        try:
+            program = self._parse(impl, source)
+            program = optimize_program(program, impl.layout, impl.opt_level)
+        except (CSyntaxError, CTypeError) as exc:
+            self._store(key, ("error", exc))
+            raise
+        self._store(key, ("ok", program))
+        return program
+
+    def _parse(self, impl, source: str):
+        pkey = (source, impl.arch.name)
+        program = self._parsed.get(pkey)
+        if program is not None:
+            self._parsed.move_to_end(pkey)
+            return program
+        program = parse_program(source, impl.layout)
+        self._parsed[pkey] = program
+        while len(self._parsed) > self.maxsize:
+            self._parsed.popitem(last=False)
+        return program
+
+    def _store(self, key: tuple, entry: tuple[str, object]) -> None:
+        self._compiled[key] = entry
+        while len(self._compiled) > self.maxsize:
+            self._compiled.popitem(last=False)
+
+
+_GLOBAL_CACHE = CompileCache()
+_ENABLED = True
+
+
+def global_cache() -> CompileCache:
+    """The process-wide cache used by :meth:`Implementation.compile`."""
+    return _GLOBAL_CACHE
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Process-wide switch (the CLI's ``--no-compile-cache``)."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def cache_enabled() -> bool:
+    return _ENABLED
+
+
+def clear_cache() -> None:
+    _GLOBAL_CACHE.clear()
+
+
+def compile_program(impl, source: str, use_cache: bool | None = None):
+    """Compile ``source`` for ``impl``; ``use_cache=None`` defers to the
+    process-wide switch.  Uncached compiles bypass the cache entirely
+    (no lookups, no stats)."""
+    if use_cache is None:
+        use_cache = _ENABLED
+    if not use_cache:
+        program = parse_program(source, impl.layout)
+        return optimize_program(program, impl.layout, impl.opt_level)
+    return _GLOBAL_CACHE.compile(impl, source)

@@ -1,0 +1,60 @@
+"""Deterministic multiprocessing fan-out for suite and fuzz runs.
+
+Every run in this codebase is a pure function of its inputs: an
+implementation configuration plus a program (each run builds a fresh
+:class:`~repro.memory.model.MemoryModel`, and nothing reads the clock or
+global mutable state during interpretation).  :func:`parallel_map`
+exploits that: it fans items across a process pool and returns results
+**in input order**, so a parallel run is bit-identical to the serial
+one -- the scheduling of workers can never leak into a report.
+
+``jobs <= 1`` (or a single item) short-circuits to a plain in-process
+list comprehension: the serial path and the parallel path execute the
+same worker function on the same items, differing only in *where*.
+Environments without working multiprocessing primitives (restricted
+sandboxes) fall back to the serial path rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Translate a CLI ``--jobs`` value: ``None``/``0`` = all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
+                 jobs: int | None = 1,
+                 chunksize: int | None = None) -> list[_R]:
+    """Ordered map of ``fn`` over ``items`` across ``jobs`` processes.
+
+    ``fn`` and every item must be picklable (top-level functions and
+    frozen-dataclass configurations are).  Results are ordered by input
+    index regardless of worker completion order.
+    """
+    seq: Sequence[_T] = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(seq) <= 1:
+        return [fn(item) for item in seq]
+    jobs = min(jobs, len(seq))
+    if chunksize is None:
+        # Small chunks for load balance, but never one-item chunks over
+        # a large input (IPC overhead would dominate the tiny runs).
+        chunksize = max(1, len(seq) // (jobs * 4))
+    try:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(fn, seq, chunksize=chunksize)
+    except (OSError, PermissionError, ImportError):
+        # No usable multiprocessing primitives (e.g. /dev/shm sealed
+        # off); the serial path computes the identical result.
+        return [fn(item) for item in seq]

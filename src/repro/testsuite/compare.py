@@ -4,6 +4,13 @@
 ``compare_implementations`` reproduces the S5.1-S5.3 compliance report:
 each implementation's pass/fail/no-claim counts plus the list of
 divergences with their causes.
+
+Both fan out across worker processes when ``jobs > 1``: every case run
+is independent (a fresh memory model per run) and results are stitched
+back in input order, so a parallel report is bit-identical to the
+serial one.  Compilation is shared through :mod:`repro.perf.cache`, so
+the 94 programs are parsed/optimised once per distinct compile
+configuration instead of once per implementation.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass, field
 from repro.errors import Outcome
 from repro.impls.config import Implementation
 from repro.memory.model import Mode
+from repro.obs.metrics import Metrics
+from repro.perf.pool import parallel_map
 from repro.testsuite.case import Expected, TestCase
 from repro.testsuite.suite import all_cases
 
@@ -34,6 +43,9 @@ class CaseResult:
 class SuiteReport:
     impl: Implementation
     results: list[CaseResult] = field(default_factory=list)
+    #: Merged per-run metrics when the suite ran with ``with_metrics``;
+    #: ``wall_seconds`` is total compute time across all case runs.
+    metrics: Metrics | None = None
 
     @property
     def passed(self) -> int:
@@ -55,20 +67,73 @@ class SuiteReport:
                 f"fail {self.failed:3d}  no-claim {self.unclaimed:3d}")
 
 
-def run_suite(impl: Implementation,
-              cases: tuple[TestCase, ...] | None = None) -> SuiteReport:
-    report = SuiteReport(impl)
-    for case in cases or all_cases():
-        outcome = impl.run(case.source)
+def _run_case(task) -> tuple[Outcome, Metrics | None]:
+    """Worker body: one (implementation, case) run, optionally metered.
+
+    Top-level so the worker pool can pickle it; the serial path calls
+    it directly with the same tasks.
+    """
+    impl, case, with_metrics, use_cache = task
+    bus = metrics = None
+    if with_metrics:
+        from repro.obs import EventBus
+        bus = EventBus()
+        metrics = Metrics().attach(bus).start()
+    outcome = impl.run(case.source, bus=bus, use_cache=use_cache)
+    if metrics is not None:
+        metrics.finish(steps=bus.step)
+    return outcome, metrics
+
+
+def _report_for(impl: Implementation, cases: tuple[TestCase, ...],
+                runs: list[tuple[Outcome, Metrics | None]],
+                with_metrics: bool) -> SuiteReport:
+    report = SuiteReport(impl, metrics=Metrics() if with_metrics else None)
+    for case, (outcome, metrics) in zip(cases, runs):
         expected = case.expected_for(
             impl.name,
             is_hardware=impl.mode is Mode.HARDWARE,
             opt_level=impl.opt_level)
         report.results.append(CaseResult(case, outcome, expected))
+        if metrics is not None:
+            report.metrics.merge(metrics)
     return report
+
+
+def run_suite(impl: Implementation,
+              cases: tuple[TestCase, ...] | None = None, *,
+              jobs: int = 1,
+              with_metrics: bool = False,
+              use_cache: bool | None = None) -> SuiteReport:
+    """Run one implementation over ``cases`` (``None`` = the full
+    suite; an explicitly empty selection yields an empty report)."""
+    if cases is None:
+        cases = all_cases()
+    cases = tuple(cases)
+    tasks = [(impl, case, with_metrics, use_cache) for case in cases]
+    runs = parallel_map(_run_case, tasks, jobs=jobs)
+    return _report_for(impl, cases, runs, with_metrics)
 
 
 def compare_implementations(
         impls: tuple[Implementation, ...],
-        cases: tuple[TestCase, ...] | None = None) -> list[SuiteReport]:
-    return [run_suite(impl, cases) for impl in impls]
+        cases: tuple[TestCase, ...] | None = None, *,
+        jobs: int = 1,
+        with_metrics: bool = False,
+        use_cache: bool | None = None) -> list[SuiteReport]:
+    """The S5 compliance comparison over every implementation.
+
+    The (implementation, case) grid is flattened into one task list so
+    a worker pool load-balances across the whole comparison rather than
+    one suite at a time.
+    """
+    if cases is None:
+        cases = all_cases()
+    cases = tuple(cases)
+    tasks = [(impl, case, with_metrics, use_cache)
+             for impl in impls for case in cases]
+    runs = parallel_map(_run_case, tasks, jobs=jobs)
+    return [_report_for(impl, cases,
+                        runs[i * len(cases):(i + 1) * len(cases)],
+                        with_metrics)
+            for i, impl in enumerate(impls)]

@@ -5,6 +5,16 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _restore_compile_cache_switch():
+    # CLI flags toggle the process-wide cache switch; keep it from
+    # leaking into other tests.
+    from repro.perf import cache_enabled, set_cache_enabled
+    enabled = cache_enabled()
+    yield
+    set_cache_enabled(enabled)
+
+
 @pytest.fixture
 def prog(tmp_path):
     path = tmp_path / "t.c"
@@ -128,3 +138,53 @@ def test_trace_ring_bounds_events(prog, tmp_path, capsys):
 def test_file_required_without_report(capsys):
     with pytest.raises(SystemExit):
         main([])
+
+
+def _first_case_name():
+    from repro.testsuite.suite import all_cases
+    return all_cases()[0].name
+
+
+def test_suite_subcommand_single_case(capsys):
+    name = _first_case_name()
+    status = main(["suite", "--impl", "cerberus", "--case", name])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "cerberus" in out
+    assert "pass   1" in out
+
+
+def test_suite_subcommand_parallel_and_flags(capsys):
+    name = _first_case_name()
+    status = main(["suite", "--case", name, "--jobs", "2",
+                   "--no-compile-cache", "--metrics"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "interp steps" in out
+
+
+def test_suite_unknown_case_errors():
+    with pytest.raises(SystemExit):
+        main(["suite", "--case", "no-such-test"])
+
+
+def test_compare_subcommand_single_case(capsys):
+    name = _first_case_name()
+    status = main(["compare", "--case", name, "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "cerberus" in out and "gcc-morello-O3" in out
+
+
+def test_run_subcommand_alias(prog, capsys):
+    status = main(["run", prog, "--no-compile-cache"])
+    assert status == 0
+    assert "[cerberus] exit 0" in capsys.readouterr().err
+
+
+def test_fuzz_accepts_engine_flags(capsys):
+    status = main(["fuzz", "--seed", "3", "--iterations", "2",
+                   "--jobs", "2", "--quiet"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "Differential fuzz: seed 3, 2 programs" in out

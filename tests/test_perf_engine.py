@@ -1,0 +1,275 @@
+"""The execution engine: compile cache, worker pool, and determinism.
+
+Covers the engine's contract: parallel suite/compare/fuzz runs are
+bit-identical to serial ones, the compilation cache never leaks a
+compiled program across configuration axes that affect compilation,
+and explicit-empty suite selections stay empty.
+"""
+
+import pytest
+
+from repro.errors import CSyntaxError
+from repro.fuzz.driver import iteration_seed, program_for, run_fuzz
+from repro.impls import ALL_IMPLEMENTATIONS
+from repro.impls.registry import (
+    CERBERUS,
+    CHERIOT_ABSTRACT,
+    CLANG_MORELLO_O0,
+    CLANG_MORELLO_O3,
+    CLANG_MORELLO_O3_SUBOBJECT,
+    CERBERUS_PERMISSIVE,
+)
+from repro.obs.metrics import Metrics
+from repro.perf.cache import CompileCache, compile_program
+from repro.perf.pool import parallel_map, resolve_jobs
+from repro.reporting.tables import render_compliance
+from repro.testsuite.compare import compare_implementations, run_suite
+from repro.testsuite.suite import all_cases
+
+SOURCE = "int main(void) { int a[2]; a[0] = 7; return a[0]; }\n"
+BAD_SOURCE = "int main(void { return 0; }\n"
+
+
+class TestCompileCache:
+    def test_hit_after_miss(self):
+        cache = CompileCache()
+        first = cache.compile(CERBERUS, SOURCE)
+        second = cache.compile(CERBERUS, SOURCE)
+        assert first is second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_shared_across_run_only_axes(self):
+        # cerberus and clang-morello-O0 differ only in address map and
+        # mode -- run-time axes -- so they share one compiled program.
+        cache = CompileCache()
+        ref = cache.compile(CERBERUS, SOURCE)
+        hw = cache.compile(CLANG_MORELLO_O0, SOURCE)
+        assert ref is hw
+        assert cache.stats.hits == 1
+
+    @pytest.mark.parametrize("other", [
+        CLANG_MORELLO_O3,            # opt_level axis
+        CLANG_MORELLO_O3_SUBOBJECT,  # opt_level + subobject_bounds axes
+        CHERIOT_ABSTRACT,            # arch axis
+        CERBERUS_PERMISSIVE,         # options axis
+    ])
+    def test_isolated_across_compile_axes(self, other):
+        # Distinct (arch, opt_level, subobject_bounds, options) keys
+        # never serve each other's entries: two misses, two entries.
+        cache = CompileCache()
+        cache.compile(CERBERUS, SOURCE)
+        cache.compile(other, SOURCE)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_subobject_key_isolated_from_plain_o3(self):
+        cache = CompileCache()
+        plain = cache.compile(CLANG_MORELLO_O3, SOURCE)
+        subobject = cache.compile(CLANG_MORELLO_O3_SUBOBJECT, SOURCE)
+        assert subobject is not plain
+        assert cache.stats.hits == 0
+
+    def test_parse_shared_across_opt_levels(self):
+        # O0 and O3 compile to different programs but share the parse.
+        cache = CompileCache()
+        cache.compile(CERBERUS, SOURCE)
+        assert len(cache._parsed) == 1
+        cache.compile(CLANG_MORELLO_O3, SOURCE)
+        assert len(cache._parsed) == 1
+
+    def test_frontend_error_cached(self):
+        cache = CompileCache()
+        with pytest.raises(CSyntaxError):
+            cache.compile(CERBERUS, BAD_SOURCE)
+        with pytest.raises(CSyntaxError):
+            cache.compile(CERBERUS, BAD_SOURCE)
+        assert cache.stats.hits == 1
+
+    def test_eviction_is_bounded(self):
+        cache = CompileCache(maxsize=2)
+        for status in range(4):
+            cache.compile(CERBERUS,
+                          f"int main(void) {{ return {status}; }}\n")
+        assert len(cache) <= 2
+        assert len(cache._parsed) <= 2
+
+    def test_uncached_compile_bypasses_global_cache(self):
+        from repro.perf import global_cache
+        before = global_cache().stats.lookups
+        program = compile_program(CERBERUS, SOURCE, use_cache=False)
+        assert program.functions
+        assert global_cache().stats.lookups == before
+
+    def test_cached_outcome_matches_uncached(self):
+        for impl in ALL_IMPLEMENTATIONS:
+            cached = impl.run(SOURCE, use_cache=True)
+            uncached = impl.run(SOURCE, use_cache=False)
+            assert cached == uncached, impl.name
+
+
+class TestCompileRunSplit:
+    def test_run_compiled_reusable_across_runs(self):
+        program = CERBERUS.compile(SOURCE)
+        first = CERBERUS.run_compiled(program)
+        second = CERBERUS.run_compiled(program)
+        assert first == second
+        assert first.exit_status == 7
+
+    def test_frontend_error_still_an_outcome(self):
+        outcome = CERBERUS.run(BAD_SOURCE)
+        from repro.errors import OutcomeKind
+        assert outcome.kind is OutcomeKind.ERROR
+
+
+class TestSuiteSelection:
+    def test_none_selects_full_suite(self):
+        report = run_suite(CERBERUS, None)
+        assert len(report.results) == len(all_cases())
+
+    def test_empty_selection_is_empty_report(self):
+        # The old truthiness fallback silently ran all 94 tests here.
+        report = run_suite(CERBERUS, ())
+        assert report.results == []
+        assert (report.passed, report.failed, report.unclaimed) == (0, 0, 0)
+
+    def test_explicit_selection_runs_exactly_those(self):
+        picked = all_cases()[:3]
+        report = run_suite(CERBERUS, picked)
+        assert [r.case.name for r in report.results] == \
+            [c.name for c in picked]
+
+
+class TestMetricsGuards:
+    def test_double_start_raises(self):
+        metrics = Metrics().start()
+        with pytest.raises(RuntimeError):
+            metrics.start()
+
+    def test_finish_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Metrics().finish()
+
+    def test_start_finish_cycles_accumulate(self):
+        metrics = Metrics()
+        metrics.start()
+        metrics.finish()
+        first = metrics.wall_seconds
+        metrics.start()
+        metrics.finish()
+        assert metrics.wall_seconds >= first
+
+    def test_merge_sums(self):
+        left = Metrics()
+        left.count("derivations", 2)
+        left.steps = 10
+        left.wall_seconds = 0.5
+        right = Metrics()
+        right.count("derivations", 3)
+        right.count("allocator.reserved_bytes", 16)
+        right.steps = 5
+        right.wall_seconds = 0.25
+        left.merge(right)
+        assert left.counters["derivations"] == 5
+        assert left.counters["allocator.reserved_bytes"] == 16
+        assert left.steps == 15
+        assert left.wall_seconds == 0.75
+
+    def test_merge_running_timer_raises(self):
+        with pytest.raises(RuntimeError):
+            Metrics().merge(Metrics().start())
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == \
+            parallel_map(_square, items, jobs=2) == \
+            [v * v for v in items]
+
+    def test_resolve_jobs(self):
+        import os
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestParallelEquality:
+    """Parallel runs must be bit-identical to serial ones."""
+
+    CASES = all_cases()[:12]
+
+    def test_suite_parallel_equals_serial(self):
+        serial = run_suite(CERBERUS, self.CASES, jobs=1)
+        parallel = run_suite(CERBERUS, self.CASES, jobs=2)
+        assert [r.outcome for r in serial.results] == \
+            [r.outcome for r in parallel.results]
+        assert [r.passed for r in serial.results] == \
+            [r.passed for r in parallel.results]
+
+    def test_compare_parallel_equals_serial(self):
+        serial = render_compliance(compare_implementations(
+            ALL_IMPLEMENTATIONS, self.CASES, jobs=1))
+        parallel = render_compliance(compare_implementations(
+            ALL_IMPLEMENTATIONS, self.CASES, jobs=2))
+        assert serial == parallel
+
+    def test_fuzz_parallel_equals_serial(self):
+        serial = run_fuzz(seed=3, iterations=8, shrink_budget=20, jobs=1)
+        parallel = run_fuzz(seed=3, iterations=8, shrink_budget=20, jobs=2)
+        assert serial.iterations == parallel.iterations
+        assert serial.reference_counts == parallel.reference_counts
+        assert [g.describe() for g in serial.sorted_groups()] == \
+            [g.describe() for g in parallel.sorted_groups()]
+        assert [(g.first_iteration, g.example.render())
+                for g in serial.sorted_groups()] == \
+            [(g.first_iteration, g.example.render())
+             for g in parallel.sorted_groups()]
+        assert sorted(g.minimized_source for g in serial.groups) == \
+            sorted(g.minimized_source for g in parallel.groups)
+
+    def test_suite_metrics_merge_parallel_equals_serial(self):
+        serial = run_suite(CERBERUS, self.CASES, jobs=1,
+                           with_metrics=True)
+        parallel = run_suite(CERBERUS, self.CASES, jobs=2,
+                             with_metrics=True)
+        assert serial.metrics is not None
+        assert serial.metrics.steps == parallel.metrics.steps
+        # Wall time is timing-dependent; event counters are not.
+        assert serial.metrics.counters == parallel.metrics.counters
+        assert serial.metrics.steps > 0
+
+
+class TestFuzzIterationSeeds:
+    def test_iteration_seed_is_stable_and_hash_free(self):
+        assert iteration_seed(0, 5) == "0:5"
+        assert iteration_seed(12, 34) == "12:34"
+
+    def test_program_reproducible_in_isolation(self):
+        campaign = [program_for(7, i).render() for i in range(6)]
+        # Recomputing any single iteration, in any order, matches.
+        assert program_for(7, 4).render() == campaign[4]
+        assert program_for(7, 0).render() == campaign[0]
+        recomputed = [program_for(7, i).render()
+                      for i in reversed(range(6))]
+        assert recomputed == campaign[::-1]
+
+    def test_distinct_iterations_differ(self):
+        rendered = {program_for(0, i).render() for i in range(8)}
+        assert len(rendered) > 1
+
+    def test_distinct_campaigns_differ(self):
+        assert [program_for(1, i).render() for i in range(4)] != \
+            [program_for(2, i).render() for i in range(4)]
+
+    def test_run_fuzz_examples_come_from_derived_seeds(self):
+        report = run_fuzz(seed=3, iterations=6, shrink_budget=10)
+        for group in report.groups:
+            assert group.example.render() == \
+                program_for(3, group.first_iteration).render()
