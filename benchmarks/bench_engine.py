@@ -171,6 +171,18 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         ok = False
 
+    # Throughput gate (ISSUE 4): on a real multi-core box the batched
+    # parallel fuzz path must at least match serial throughput.  On a
+    # single core (or with jobs=1) parallelism cannot win, so the gate
+    # only applies when both the request and the hardware allow it.
+    throughput_gated = jobs >= 2 and (os.cpu_count() or 1) >= 2
+    if throughput_gated and fuzz_timings["speedup_parallel"] < 1.0:
+        print(f"FAIL: parallel fuzz throughput regressed "
+              f"({fuzz_timings['speedup_parallel']}x < 1.0x with "
+              f"jobs={jobs} on {os.cpu_count()} cores)",
+              file=sys.stderr)
+        ok = False
+
     entry = {
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -181,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
         "implementations": len(ALL_IMPLEMENTATIONS),
         "compare": compare_timings,
         "fuzz": fuzz_timings,
+        "throughput_gate": throughput_gated,
         "deterministic": ok,
     }
     output = pathlib.Path(args.output)

@@ -19,7 +19,10 @@ Usage::
 ``--jobs N`` fans runs across N worker processes (0 = all cores) with
 results stitched back in input order, so reports are bit-identical to
 serial runs; ``--no-compile-cache`` disables the shared compilation
-cache (see docs/PERFORMANCE.md).
+cache (see docs/PERFORMANCE.md).  ``--max-steps/--max-allocations/
+--max-alloc-bytes/--deadline`` put a resource budget on every run, so
+even a nonterminating program ends with a structured
+``resource_exhausted`` outcome (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -38,6 +41,36 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the shared compilation cache "
                              "(each run re-parses and re-optimises)")
+    budgets = parser.add_argument_group(
+        "resource budgets",
+        "per-run limits (docs/ROBUSTNESS.md); a run over budget ends "
+        "with a structured resource_exhausted outcome instead of "
+        "hanging.  With --jobs, a worker blowing --deadline is torn "
+        "down and the case retried/quarantined by the pool.")
+    budgets.add_argument("--max-steps", type=int, default=None,
+                         metavar="N",
+                         help="interpreter evaluation-step limit per run")
+    budgets.add_argument("--max-allocations", type=int, default=None,
+                         metavar="N",
+                         help="allocation-count limit per run")
+    budgets.add_argument("--max-alloc-bytes", type=int, default=None,
+                         metavar="N",
+                         help="allocated-bytes limit per run")
+    budgets.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock limit per run")
+
+
+def _budget_from(args):
+    """The Budget described by the CLI flags (None when no flag set)."""
+    if (args.max_steps is None and args.max_allocations is None
+            and args.max_alloc_bytes is None and args.deadline is None):
+        return None
+    from repro.robust import Budget
+    return Budget(max_steps=args.max_steps,
+                  max_alloc_bytes=args.max_alloc_bytes,
+                  max_allocations=args.max_allocations,
+                  deadline=args.deadline)
 
 
 def _apply_cache_flag(args) -> bool:
@@ -86,6 +119,9 @@ def fuzz_main(argv: list[str]) -> int:
 
     from repro.fuzz import run_fuzz
     from repro.reporting.tables import render_fuzz_summary
+    from repro.robust import DEFAULT_FUZZ_BUDGET
+
+    budget = _budget_from(args) or DEFAULT_FUZZ_BUDGET
 
     def progress(index: int, report) -> None:
         if not args.quiet and index % 25 == 0:
@@ -103,7 +139,8 @@ def fuzz_main(argv: list[str]) -> int:
         preserve_explanation=args.preserve_explanation,
         progress=progress,
         jobs=args.jobs,
-        use_cache=use_cache)
+        use_cache=use_cache,
+        budget=budget)
     print(render_fuzz_summary(report), end="")
     return 0 if report.ok else 1
 
@@ -142,7 +179,7 @@ def suite_main(argv: list[str]) -> int:
 
     report = run_suite(by_name(args.impl), _select_cases(args.case),
                        jobs=args.jobs, with_metrics=args.metrics,
-                       use_cache=use_cache)
+                       use_cache=use_cache, budget=_budget_from(args))
     print(report.summary_line())
     for result in report.failures():
         expected = result.expected.describe() if result.expected else "?"
@@ -171,7 +208,8 @@ def compare_main(argv: list[str]) -> int:
 
     reports = compare_implementations(ALL_IMPLEMENTATIONS,
                                       _select_cases(args.case),
-                                      jobs=args.jobs, use_cache=use_cache)
+                                      jobs=args.jobs, use_cache=use_cache,
+                                      budget=_budget_from(args))
     print(render_compliance(reports))
     return 0 if all(report.failed == 0 for report in reports) else 1
 
@@ -306,15 +344,17 @@ def _run_main(argv: list[str]) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
 
+    budget = _budget_from(args)
+
     def run_with_metrics(impl):
         if not args.metrics:
-            return impl.run(source), None
+            return impl.run(source, budget=budget), None
         from repro.obs import EventBus, Metrics
         bus = EventBus()
         metrics = Metrics()
         metrics.attach(bus)
         metrics.start()
-        outcome = impl.run(source, bus=bus)
+        outcome = impl.run(source, bus=bus, budget=budget)
         metrics.finish(steps=bus.step)
         return outcome, metrics
 

@@ -18,6 +18,7 @@ wrapping arithmetic), selected by the memory model's mode.
 from __future__ import annotations
 
 import io
+import sys
 from dataclasses import dataclass
 
 from repro.capability.permissions import Permission
@@ -36,7 +37,7 @@ from repro.ctypes.types import (
 )
 from repro.errors import (
     AssertionFailure, CheriTrap, CSyntaxError, CTypeError, Outcome,
-    TrapKind, UB, UndefinedBehaviour,
+    ResourceExhausted, TrapKind, UB, UndefinedBehaviour,
 )
 from repro.memory.allocation import AllocKind
 from repro.memory.derivation import derive
@@ -103,9 +104,17 @@ class Frame:
         return None
 
 
-#: The evaluation step budget: the executable semantics is a test oracle
-#: for small programs, so runaway loops indicate a broken test.
+#: The default evaluation step budget: the executable semantics is a
+#: test oracle for small programs, so runaway loops indicate a broken
+#: test.  A :class:`~repro.robust.Budget` on the memory model's meter
+#: overrides it per run.
 STEP_LIMIT = 2_000_000
+
+#: The function-call depth ceiling.  Infinite recursion in the subject
+#: program must surface as a ``resource_exhausted`` outcome well before
+#: the *host* interpreter's own recursion limit turns it into an
+#: uninformative ``RecursionError``.
+CALL_DEPTH_LIMIT = 200
 
 
 class Interpreter:
@@ -129,13 +138,35 @@ class Interpreter:
         #: The model's event bus (None = untraced).  Kept as a local
         #: attribute so the hot step counters pay one ``is None`` test.
         self.bus = model.bus
+        #: Budget enforcement (see :mod:`repro.robust`): the step limit
+        #: and deadline are flattened onto the interpreter so the hot
+        #: path pays one comparison, not an attribute chase per step.
+        meter = getattr(model, "meter", None)
+        self.meter = meter
+        self._max_steps = STEP_LIMIT
+        self._deadline_at: float | None = None
+        if meter is not None:
+            if meter.budget.max_steps is not None:
+                self._max_steps = meter.budget.max_steps
+            self._deadline_at = meter.deadline_at
 
     # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
 
     def run(self, main: str = "main") -> Outcome:
-        outcome = self._run(main)
+        # ~10 host frames per C call: headroom so the deterministic
+        # CALL_DEPTH_LIMIT guard fires before the host RecursionError
+        # backstop (whose trigger depth varies with the caller's stack,
+        # which would make recursive programs classify differently in
+        # pool workers than in the main process).
+        host_limit = sys.getrecursionlimit()
+        if host_limit < 8000:
+            sys.setrecursionlimit(8000)
+        try:
+            outcome = self._run(main)
+        finally:
+            sys.setrecursionlimit(host_limit)
         bus = self.bus
         if bus is not None:
             bus.step = self.steps
@@ -145,8 +176,22 @@ class Interpreter:
                            else None),
                      exit_status=outcome.exit_status,
                      unspecified=outcome.unspecified,
+                     limit=outcome.limit or None,
                      what=outcome.describe())
         return outcome
+
+    def _cut(self, limit: str, where: str) -> None:
+        """Report a budget cut-off through the meter (which emits the
+        ``robust.cutoff`` event) or raise directly when ungoverned."""
+        meter = self.meter
+        if meter is not None:
+            meter.cut(limit, where)
+        raise ResourceExhausted(limit, where)
+
+    def _steps_exhausted(self) -> None:
+        self._cut("steps",
+                  f"step {self.steps} over the {self._max_steps}-step "
+                  f"budget")
 
     def _run(self, main: str) -> Outcome:
         try:
@@ -175,6 +220,19 @@ class Interpreter:
             return Outcome.exited(exc.status, self.out.getvalue())
         except (CSyntaxError, CTypeError) as exc:
             return Outcome.frontend_error(str(exc))
+        except ResourceExhausted as exc:
+            return Outcome.resource_exhausted(exc.limit, exc.where,
+                                              self.out.getvalue())
+        except RecursionError:
+            # The CALL_DEPTH_LIMIT guard should fire first; this is the
+            # backstop for host-stack exhaustion via deep *expressions*.
+            return Outcome.resource_exhausted(
+                "python-recursion", "host interpreter recursion limit",
+                self.out.getvalue())
+        except MemoryError:
+            return Outcome.resource_exhausted(
+                "python-memory", "host interpreter out of memory",
+                self.out.getvalue())
 
     def _setup(self) -> None:
         for fdef in self.program.functions:
@@ -222,8 +280,10 @@ class Interpreter:
             raise CTypeError(
                 f"{fdef.name} expects {len(fdef.params)} arguments, "
                 f"got {len(args)}")
-        if len(self.frames) > 200:
-            raise CTypeError("call depth limit exceeded")
+        if len(self.frames) > CALL_DEPTH_LIMIT:
+            self._cut("call-depth",
+                      f"call to {fdef.name}() at depth {len(self.frames)} "
+                      f"over the {CALL_DEPTH_LIMIT}-frame limit")
         bus = self.bus
         if bus is not None:
             bus.emit("interp.call", func=fdef.name, args=len(args),
@@ -276,8 +336,10 @@ class Interpreter:
 
     def exec_stmt(self, stmt: Stmt) -> None:
         self.steps += 1
-        if self.steps > STEP_LIMIT:
-            raise CTypeError("step limit exceeded (runaway test program)")
+        if self.steps > self._max_steps:
+            self._steps_exhausted()
+        if self._deadline_at is not None and not (self.steps & 1023):
+            self.meter.check_deadline(self.steps)
         bus = self.bus
         if bus is not None:
             bus.step = self.steps
@@ -561,8 +623,10 @@ class Interpreter:
 
     def eval(self, expr: Expr) -> MemoryValue:
         self.steps += 1
-        if self.steps > STEP_LIMIT:
-            raise CTypeError("step limit exceeded (runaway test program)")
+        if self.steps > self._max_steps:
+            self._steps_exhausted()
+        if self._deadline_at is not None and not (self.steps & 1023):
+            self.meter.check_deadline(self.steps)
         bus = self.bus
         if bus is not None:
             bus.step = self.steps

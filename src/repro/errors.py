@@ -177,6 +177,33 @@ class AssertionFailure(ReproError):
         super().__init__(f"assertion failed: {expression}")
 
 
+class ResourceExhausted(ReproError):
+    """A run hit its resource :class:`~repro.robust.Budget`.
+
+    Not a property of the program's semantics: the same program under a
+    larger budget may have any other outcome.  The interpreter converts
+    this into an :class:`Outcome` of kind
+    :attr:`OutcomeKind.RESOURCE`, so governed runs never hang and never
+    leak raw ``RecursionError``/``MemoryError``.
+
+    Attributes:
+        limit: which budget axis was exhausted (``steps``, ``memory``,
+            ``allocations``, ``deadline``, ``call-depth``, ``fault``,
+            ``python-recursion``, ``python-memory``, or ``worker`` for
+            pool-level quarantine).
+        where: human-readable context (the step count, the allocation
+            site, ...).
+    """
+
+    def __init__(self, limit: str, where: str = "") -> None:
+        self.limit = limit
+        self.where = where
+        msg = f"resource exhausted ({limit})"
+        if where:
+            msg += f": {where}"
+        super().__init__(msg)
+
+
 class OutcomeKind(enum.Enum):
     """Classification of one program run on one implementation."""
 
@@ -185,6 +212,7 @@ class OutcomeKind(enum.Enum):
     TRAP = "trap"            # hardware capability fault; carries TrapKind
     ABORT = "abort"          # assert failure / abort()
     ERROR = "error"          # frontend rejected the program
+    RESOURCE = "resource_exhausted"  # budget cut-off; carries which limit
 
 
 @dataclass(frozen=True)
@@ -206,6 +234,11 @@ class Outcome:
     #: (S3.5 ghost state reaching ``return`` from ``main``); any concrete
     #: status a real implementation produces is consistent with it.
     unspecified: bool = False
+    #: For :attr:`OutcomeKind.RESOURCE`: which budget axis cut the run
+    #: off (``steps``, ``memory``, ``allocations``, ``deadline``,
+    #: ``call-depth``, ``fault``, ``python-recursion``,
+    #: ``python-memory``) or ``worker`` for pool-level quarantine.
+    limit: str = ""
 
     @classmethod
     def exited(cls, status: int, stdout: str = "") -> "Outcome":
@@ -235,6 +268,18 @@ class Outcome:
     def frontend_error(cls, detail: str) -> "Outcome":
         return cls(kind=OutcomeKind.ERROR, detail=detail)
 
+    @classmethod
+    def resource_exhausted(cls, limit: str, detail: str = "",
+                           stdout: str = "") -> "Outcome":
+        return cls(kind=OutcomeKind.RESOURCE, limit=limit, detail=detail,
+                   stdout=stdout)
+
+    @classmethod
+    def quarantined(cls, detail: str = "") -> "Outcome":
+        """A pool-level verdict: the case's worker died or hung twice,
+        so the engine quarantined the case instead of aborting the run."""
+        return cls(kind=OutcomeKind.RESOURCE, limit="worker", detail=detail)
+
     @property
     def ok(self) -> bool:
         """True when the program ran to completion with status 0."""
@@ -252,4 +297,8 @@ class Outcome:
             return f"trap: {self.trap}"
         if self.kind is OutcomeKind.ABORT:
             return f"abort: {self.detail}"
+        if self.kind is OutcomeKind.RESOURCE:
+            if self.limit == "worker":
+                return f"quarantined: {self.detail}"
+            return f"resource_exhausted ({self.limit})"
         return f"error: {self.detail}"

@@ -31,7 +31,8 @@ from repro.fuzz.oracle import (
 )
 from repro.fuzz.shrinker import shrink
 from repro.perf.cache import set_cache_enabled
-from repro.perf.pool import parallel_map
+from repro.perf.pool import TaskFailure, parallel_map
+from repro.robust.budget import DEFAULT_FUZZ_BUDGET
 
 #: Default iteration count when neither --iterations nor --time-budget
 #: is given.
@@ -64,13 +65,18 @@ def _evaluate_iteration(task):
     Top-level and argument-picklable so the worker pool can ship it;
     the serial path runs the identical function in-process.
     """
-    seed, index, targets, use_cache = task
+    seed, index, targets, use_cache, budget = task
+    if targets is None:
+        # The default target set is module state in every worker;
+        # shipping None instead keeps the per-task pickle payload from
+        # carrying the whole implementation registry.
+        targets = FUZZ_TARGETS
     if use_cache is not None:
         # Worker processes apply the campaign's cache switch locally
         # (the parent's global switch does not travel under spawn).
         set_cache_enabled(use_cache)
     program = program_for(seed, index)
-    return program, evaluate_program(program, targets)
+    return program, evaluate_program(program, targets, budget=budget)
 
 
 def _kind_token(described: str) -> str:
@@ -119,6 +125,9 @@ class FuzzReport:
     groups: list[DivergenceGroup] = field(default_factory=list)
     corpus_paths: list[pathlib.Path] = field(default_factory=list)
     trace_paths: list[pathlib.Path] = field(default_factory=list)
+    #: Iteration indices whose pool worker died twice (retry exhausted);
+    #: their programs were never classified (see docs/ROBUSTNESS.md).
+    quarantined: list[int] = field(default_factory=list)
 
     @property
     def findings(self) -> list[DivergenceGroup]:
@@ -151,7 +160,8 @@ def _reference_label(verdict) -> str:
 
 def _preserves_group(group: DivergenceGroup,
                      targets: tuple[FuzzTarget, ...],
-                     signature: tuple | None = None):
+                     signature: tuple | None = None,
+                     budget=None):
     """Predicate: does a candidate still exhibit this group's failure?
 
     With ``signature`` set, the candidate must additionally preserve
@@ -164,7 +174,7 @@ def _preserves_group(group: DivergenceGroup,
 
     def predicate(candidate: FuzzProgram) -> bool:
         verdict = evaluate_program(candidate, subset,
-                                   attach_evidence=False)
+                                   attach_evidence=False, budget=budget)
         if not any(_group_key(d) == (group.impl_name, group.cause.value,
                                      group.reference_kind,
                                      group.observed_kind)
@@ -190,6 +200,10 @@ def run_fuzz(seed: int = 0,
              progress: Callable[[int, "FuzzReport"], None] | None = None,
              jobs: int = 1,
              use_cache: bool | None = None,
+             budget=DEFAULT_FUZZ_BUDGET,
+             fault_plan=None,
+             task_timeout: float | None = None,
+             bus=None,
              ) -> FuzzReport:
     """Run the differential fuzzing loop.
 
@@ -202,10 +216,23 @@ def run_fuzz(seed: int = 0,
     (:func:`iteration_seed`), so ``jobs > 1`` fans candidate evaluation
     across worker processes with results merged in iteration order --
     a parallel run with a fixed ``iterations`` count is bit-identical
-    to the serial one.  Under a ``time_budget`` the loop evaluates in
-    chunks of ``4 * jobs`` and may overshoot the budget by up to one
-    chunk (and the iteration count then depends on timing, exactly as
-    it does serially).
+    to the serial one.  A fixed-count campaign is fanned out in **one**
+    pool pass (the pool batches many iterations per task to amortise
+    IPC); under a ``time_budget`` the loop instead evaluates in chunks
+    of ``4 * jobs`` and may overshoot the budget by up to one chunk
+    (and the iteration count then depends on timing, exactly as it
+    does serially).
+
+    Every run is governed by ``budget`` (default
+    :data:`~repro.robust.DEFAULT_FUZZ_BUDGET`, whose axes are all
+    deterministic): a nonterminating or allocation-bombing candidate
+    classifies as ``resource_exhausted`` instead of hanging the
+    campaign.  Pass ``budget=None`` for ungoverned runs.  Iterations
+    whose pool worker dies twice are recorded in
+    ``report.quarantined`` (and counted under the ``quarantined``
+    reference label) rather than aborting the campaign;
+    ``fault_plan``/``task_timeout``/``bus`` feed the hardened pool
+    (test-only / backstop / observability).
 
     ``trace_dir`` persists a full reference JSONL trace of every
     finding group's minimized reproducer.  ``preserve_explanation``
@@ -219,36 +246,66 @@ def run_fuzz(seed: int = 0,
     started = time.monotonic()
 
     index = 0
-    while True:
-        if iterations is not None and index >= iterations:
-            break
-        if time_budget is not None and \
-                time.monotonic() - started >= time_budget:
-            break
-        chunk = 1 if jobs <= 1 else 4 * jobs
-        if iterations is not None:
-            chunk = min(chunk, iterations - index)
-        tasks = [(seed, index + k, targets, use_cache)
-                 for k in range(chunk)]
-        for program, verdict in parallel_map(_evaluate_iteration, tasks,
-                                             jobs=jobs):
-            label = _reference_label(verdict)
-            report.reference_counts[label] = \
-                report.reference_counts.get(label, 0) + 1
-            for div in verdict.divergences:
-                key = _group_key(div)
-                group = groups.get(key)
-                if group is None:
-                    group = DivergenceGroup(
-                        impl_name=div.impl_name, cause=div.cause,
-                        reference_kind=key[2], observed_kind=key[3],
-                        first_iteration=index, example=program,
-                        example_divergence=div)
-                    groups[key] = group
-                group.count += 1
+
+    def consume(item) -> None:
+        nonlocal index
+        if isinstance(item, TaskFailure):
+            report.quarantined.append(index)
+            report.reference_counts["quarantined"] = \
+                report.reference_counts.get("quarantined", 0) + 1
             index += 1
             if progress is not None:
                 progress(index, report)
+            return
+        program, verdict = item
+        label = _reference_label(verdict)
+        report.reference_counts[label] = \
+            report.reference_counts.get(label, 0) + 1
+        for div in verdict.divergences:
+            key = _group_key(div)
+            group = groups.get(key)
+            if group is None:
+                group = DivergenceGroup(
+                    impl_name=div.impl_name, cause=div.cause,
+                    reference_kind=key[2], observed_kind=key[3],
+                    first_iteration=index, example=program,
+                    example_divergence=div)
+                groups[key] = group
+            group.count += 1
+        index += 1
+        if progress is not None:
+            progress(index, report)
+
+    task_targets = None if targets is FUZZ_TARGETS else targets
+
+    if iterations is not None and time_budget is None:
+        # Fixed-count campaign: one pool pass over every iteration.
+        # The pool's chunk grouping batches many iterations per task,
+        # amortising submit/result IPC and executor startup -- chunked
+        # per-round pools here used to cost more than they bought.
+        tasks = [(seed, i, task_targets, use_cache, budget)
+                 for i in range(iterations)]
+        for item in parallel_map(_evaluate_iteration, tasks, jobs=jobs,
+                                 task_timeout=task_timeout,
+                                 fault_plan=fault_plan, bus=bus):
+            consume(item)
+    else:
+        while True:
+            if iterations is not None and index >= iterations:
+                break
+            if time_budget is not None and \
+                    time.monotonic() - started >= time_budget:
+                break
+            chunk = 1 if jobs <= 1 else 4 * jobs
+            if iterations is not None:
+                chunk = min(chunk, iterations - index)
+            tasks = [(seed, index + k, task_targets, use_cache, budget)
+                     for k in range(chunk)]
+            for item in parallel_map(_evaluate_iteration, tasks,
+                                     jobs=jobs,
+                                     task_timeout=task_timeout,
+                                     fault_plan=fault_plan, bus=bus):
+                consume(item)
 
     report.iterations = index
     report.groups = list(groups.values())
@@ -261,7 +318,7 @@ def run_fuzz(seed: int = 0,
         if preserve_explanation and group.is_finding:
             from repro.fuzz.evidence import reference_signature
             signature = reference_signature(group.example)
-        predicate = _preserves_group(group, targets, signature)
+        predicate = _preserves_group(group, targets, signature, budget)
         try:
             minimized = shrink(group.example, predicate,
                                max_evals=shrink_budget)
@@ -272,8 +329,8 @@ def run_fuzz(seed: int = 0,
             minimized = group.example
         group.minimized_source = minimized.render()
         group.minimized_outcomes = dict(
-            evaluate_program(minimized, targets,
-                             attach_evidence=False).outcomes)
+            evaluate_program(minimized, targets, attach_evidence=False,
+                             budget=budget).outcomes)
 
     if trace_dir is not None:
         directory = pathlib.Path(trace_dir)

@@ -87,6 +87,7 @@ def outcome_signature(outcome: Outcome) -> tuple:
             status,
             outcome.ub.value if outcome.ub else None,
             outcome.trap.value if outcome.trap else None,
+            outcome.limit or None,
             outcome.stdout)
 
 
@@ -165,10 +166,10 @@ class ProgramVerdict:
         return not self.findings
 
 
-def _safe_run(impl: Implementation,
-              source: str) -> tuple[Outcome | None, BaseException | None]:
+def _safe_run(impl: Implementation, source: str,
+              budget=None) -> tuple[Outcome | None, BaseException | None]:
     try:
-        return impl.run(source), None
+        return impl.run(source, budget=budget), None
     except Exception as exc:                 # noqa: BLE001 - fuzz boundary
         return None, exc
 
@@ -181,12 +182,18 @@ def _reference_key(impl: Implementation) -> tuple:
 def evaluate_program(
         program: FuzzProgram | str,
         targets: tuple[FuzzTarget, ...] = FUZZ_TARGETS, *,
-        attach_evidence: bool = True) -> ProgramVerdict:
+        attach_evidence: bool = True,
+        budget=None) -> ProgramVerdict:
     """Run one program everywhere and classify every divergence.
 
     Matched-reference runs are computed lazily (only when a target
     disagrees with the global reference) and cached per configuration,
     so agreeing programs cost one reference run plus one run per target.
+
+    ``budget`` governs every run (see :mod:`repro.robust`): the fuzz
+    driver passes its deterministic safety net so a nonterminating
+    candidate classifies as ``resource_exhausted`` on every machine
+    instead of hanging the campaign.
 
     When the verdict contains findings and ``attach_evidence`` is on,
     the reference is re-run once with tracing and the explaining event
@@ -195,7 +202,7 @@ def evaluate_program(
     """
     source = program.render() if isinstance(program, FuzzProgram) else program
 
-    reference, ref_crash = _safe_run(CERBERUS, source)
+    reference, ref_crash = _safe_run(CERBERUS, source, budget)
     verdict = ProgramVerdict(source=source, reference=reference)
     if ref_crash is not None:
         verdict.divergences.append(Divergence(
@@ -218,13 +225,13 @@ def evaluate_program(
     def local_oracle(impl: Implementation):
         key = _reference_key(impl)
         if key not in local_cache:
-            local_cache[key] = _safe_run(impl, source)
+            local_cache[key] = _safe_run(impl, source, budget)
         return local_cache[key]
 
     local_cache[_reference_key(CERBERUS)] = (reference, None)
 
     for target in targets:
-        outcome, crash = _safe_run(target.impl, source)
+        outcome, crash = _safe_run(target.impl, source, budget)
         if crash is not None:
             verdict.divergences.append(Divergence(
                 impl_name=target.impl.name, cause=Cause.CRASH,

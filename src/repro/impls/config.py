@@ -41,12 +41,12 @@ class Implementation:
     revocation: bool = False
     description: str = ""
 
-    def fresh_model(self, bus=None) -> MemoryModel:
+    def fresh_model(self, bus=None, meter=None) -> MemoryModel:
         return MemoryModel(self.arch, self.mode, self.address_map,
                            subobject_bounds=self.subobject_bounds,
                            options=self.options,
                            revocation=self.revocation,
-                           bus=bus)
+                           bus=bus, meter=meter)
 
     @property
     def layout(self) -> TargetLayout:
@@ -65,24 +65,48 @@ class Implementation:
         return compile_program(self, source, use_cache=use_cache)
 
     def run_compiled(self, program: Program, main: str = "main", *,
-                     bus=None) -> Outcome:
+                     bus=None, budget=None, faults=None) -> Outcome:
         """The run stage: interpret a compiled program on a fresh model.
 
         Compiled programs are immutable (frozen-dataclass AST), so one
-        cached compile can back any number of concurrent runs.
+        cached compile can back any number of concurrent runs.  When a
+        :class:`~repro.robust.Budget` (or a test-only
+        :class:`~repro.robust.FaultPlan`) is given, the run is governed:
+        it always terminates with a structured outcome, never a hang or
+        a raw ``RecursionError``/``MemoryError``.
         """
-        model = self.fresh_model(bus=bus)
+        meter = None
+        if budget is not None or faults is not None:
+            from repro.robust.budget import BudgetMeter
+            meter = BudgetMeter(budget, bus=bus, faults=faults)
+        model = self.fresh_model(bus=bus, meter=meter)
         return Interpreter(program, model).run(main)
 
     def run(self, source: str, main: str = "main", *, bus=None,
-            use_cache: bool | None = None) -> Outcome:
+            use_cache: bool | None = None, budget=None,
+            faults=None) -> Outcome:
         """Compile (parse + modelled optimisation) and run one program.
 
         ``bus`` attaches an :class:`~repro.obs.events.EventBus` for the
         run (``repro trace``, fuzz evidence capture); None = untraced.
+        ``budget``/``faults`` govern the run stage (see
+        :meth:`run_compiled`); the compile stage additionally honours a
+        fault plan's ``compile_delay`` and converts host recursion
+        blow-ups on pathological inputs into structured outcomes.
         """
+        if faults is not None and faults.compile_delay is not None:
+            import time
+            time.sleep(faults.compile_delay)
         try:
             program = self.compile(source, use_cache=use_cache)
         except (CSyntaxError, CTypeError) as exc:
             return Outcome.frontend_error(str(exc))
-        return self.run_compiled(program, main, bus=bus)
+        except RecursionError:
+            return Outcome.resource_exhausted(
+                "python-recursion",
+                "host recursion limit while compiling")
+        except MemoryError:
+            return Outcome.resource_exhausted(
+                "python-memory", "host out of memory while compiling")
+        return self.run_compiled(program, main, bus=bus, budget=budget,
+                                 faults=faults)

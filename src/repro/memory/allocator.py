@@ -89,6 +89,10 @@ class BumpAllocator:
         #: Optional event bus (set by the owning MemoryModel); when
         #: attached, every reservation emits ``region.reserve``.
         self.bus = None
+        #: Optional :class:`~repro.robust.BudgetMeter` (set by the
+        #: owning MemoryModel); when attached, every reservation is
+        #: charged against the run's allocation budget.
+        self.meter = None
         self._cursors: dict[AllocKind, int] = {
             kind: address_map.region_base(kind) for kind in AllocKind
         }
@@ -115,6 +119,12 @@ class BumpAllocator:
         """
         region = self._region(kind)
         align2, size2 = representable_region(self.params, size, align)
+        meter = self.meter
+        if meter is not None:
+            # Charge the *padded* size before moving the cursor so a
+            # cut-off run leaves the region untouched past the cut.
+            meter.charge_allocation(size2,
+                                    f"{region.name.lower()} allocation")
         cursor = self._cursors[region]
         if kind is AllocKind.STACK:
             base = _align_down(cursor - size2, align2)

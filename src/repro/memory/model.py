@@ -26,6 +26,7 @@ subject of the paper's S3 discussion and S5 experimental comparison.
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 from repro.capability.abstract import Architecture, Capability
 from repro.capability.ghost import GhostState
@@ -70,6 +71,9 @@ from repro.memory.values import (
 from repro.obs.events import EventBus
 from repro.reporting.capprint import format_capability
 
+if TYPE_CHECKING:  # pragma: no cover - hints only (import cycle guard)
+    from repro.robust.budget import BudgetMeter
+
 
 class Mode(enum.Enum):
     ABSTRACT = "abstract"
@@ -105,7 +109,8 @@ class MemoryModel:
                  subobject_bounds: bool = False,
                  options: SemanticsOptions | None = None,
                  revocation: bool = False,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 meter: "BudgetMeter | None" = None) -> None:
         self.arch = arch
         self.mode = mode
         self.layout = TargetLayout(arch)
@@ -115,6 +120,11 @@ class MemoryModel:
         self.revocation = revocation
         self.bus = bus
         self.state.allocator.bus = bus
+        #: Resource governance (see :mod:`repro.robust`): the allocator
+        #: charges every reservation against it and the interpreter
+        #: flattens its step/deadline limits onto the hot path.
+        self.meter = meter
+        self.state.allocator.meter = meter
         self._root = arch.root_capability()
 
     # ------------------------------------------------------------------

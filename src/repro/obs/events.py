@@ -32,7 +32,10 @@ cap.perms_and / cap.address_set``
 ``mem.load / mem.store / mem.copy / mem.set``
     typed and bulk memory effects;
 ``interp.call / run.outcome``
-    interpreter-level progress and the final observable outcome.
+    interpreter-level progress and the final observable outcome;
+``robust.cutoff / robust.fault / robust.retry / robust.quarantine``
+    resource governance (docs/ROBUSTNESS.md): budget cut-offs, injected
+    faults, pool task retries, and pool-level quarantine verdicts.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ EVENT_KINDS = frozenset({
     "check.access", "check.ub", "check.trap",
     "mem.load", "mem.store", "mem.copy", "mem.set",
     "interp.call", "run.outcome",
+    "robust.cutoff", "robust.fault", "robust.retry", "robust.quarantine",
 })
 
 

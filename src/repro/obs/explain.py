@@ -31,7 +31,7 @@ from repro.obs.events import Event
 
 #: Event kinds that can *be* the explanation of an outcome, in priority
 #: order (later entries are fallbacks).
-_VERDICT_KINDS = ("check.ub", "check.trap")
+_VERDICT_KINDS = ("check.ub", "check.trap", "robust.cutoff")
 
 #: Event kinds that are notable on their own even in a clean run: the
 #: semantic excursions that license divergent implementation behaviour.
@@ -67,7 +67,8 @@ def final_event(events: Sequence[Event | dict]) -> dict | None:
     # interpreter) reaches the trace only via the outcome record.
     for event in reversed(dicts):
         if event.get("kind") == "run.outcome" and \
-                (event.get("ub") or event.get("trap")):
+                (event.get("ub") or event.get("trap")
+                 or event.get("limit")):
             return event
     for kind_set in (_NOTABLE_KINDS, ("run.outcome",)):
         for event in reversed(dicts):
@@ -91,7 +92,8 @@ def explaining_signature(events: Sequence[Event | dict]) -> tuple | None:
             target.get("ub"),
             target.get("trap"),
             target.get("ghost"),
-            target.get("reason"))
+            target.get("reason"),
+            target.get("limit"))
 
 
 def _focus_keys(target: dict) -> tuple[int | None, int | None]:
@@ -141,8 +143,11 @@ def _line(event: dict) -> str:
 
 
 def _verdict_sentence(target: dict, chain: list[dict]) -> str:
-    label = (target.get("ub") or target.get("trap")
-             or target.get("ghost") or target.get("kind"))
+    label = target.get("ub") or target.get("trap")
+    if not label and target.get("limit"):
+        label = f"resource_exhausted ({target.get('limit')})"
+    if not label:
+        label = target.get("ghost") or target.get("kind")
     alloc, iota = _focus_keys(target)
     parts = [f"verdict: {label}"]
     created = next((e for e in chain if e.get("kind") == "alloc.create"), None)

@@ -75,6 +75,8 @@ class Metrics:
             self.counters[f"ub.{event.data.get('ub', '?')}"] += 1
         elif event.kind == "check.trap":
             self.counters[f"trap.{event.data.get('trap', '?')}"] += 1
+        elif event.kind == "robust.cutoff":
+            self.counters[f"cutoff.{event.data.get('limit', '?')}"] += 1
         elif event.kind.startswith("deriv."):
             self.counters["derivations"] += 1
         elif event.kind == "region.reserve":

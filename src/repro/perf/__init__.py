@@ -28,11 +28,12 @@ from repro.perf.cache import (
     global_cache,
     set_cache_enabled,
 )
-from repro.perf.pool import parallel_map, resolve_jobs
+from repro.perf.pool import TaskFailure, parallel_map, resolve_jobs
 
 __all__ = [
     "CacheStats",
     "CompileCache",
+    "TaskFailure",
     "cache_enabled",
     "clear_cache",
     "compile_program",

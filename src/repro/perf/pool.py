@@ -1,4 +1,4 @@
-"""Deterministic multiprocessing fan-out for suite and fuzz runs.
+"""Deterministic, fault-tolerant multiprocessing fan-out.
 
 Every run in this codebase is a pure function of its inputs: an
 implementation configuration plus a program (each run builds a fresh
@@ -8,21 +8,65 @@ exploits that: it fans items across a process pool and returns results
 **in input order**, so a parallel run is bit-identical to the serial
 one -- the scheduling of workers can never leak into a report.
 
+The pool is *hardened* (docs/ROBUSTNESS.md): a worker that crashes
+(``os._exit``, OOM kill, segfault) or blows its per-task deadline does
+not take the run with it.  The affected items are retried -- once by
+default -- on a fresh executor after an exponential backoff, each item
+in its own single-item task so one bad item cannot poison its
+neighbours twice.  Items that still fail come back as
+:class:`TaskFailure` sentinels in their input slot, which the callers
+(``run_suite`` / ``compare_implementations`` / ``run_fuzz``) render as
+*quarantined* per-case verdicts instead of aborting.  Because a
+transient fault is retried to completion, the stitched result list --
+and therefore the final report -- stays identical to a fault-free
+serial run.
+
 ``jobs <= 1`` (or a single item) short-circuits to a plain in-process
 list comprehension: the serial path and the parallel path execute the
 same worker function on the same items, differing only in *where*.
 Environments without working multiprocessing primitives (restricted
-sandboxes) fall back to the serial path rather than failing.
+sandboxes) fall back to the serial path rather than failing.  Neither
+serial path consults the test-only :class:`~repro.robust.FaultPlan`.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Slot marker for "no result yet" (distinct from any fn() result).
+_PENDING = object()
+
+#: Exceptions that mean "the worker died under us", not "fn raised":
+#: these are retried; anything else propagates (a bug in fn is a bug).
+_WORKER_DEATH = (BrokenProcessPool, OSError, EOFError)
+
+#: The fault plan installed in this worker process (tests only).
+_WORKER_PLAN = None
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Input-slot sentinel for an item whose worker died repeatedly.
+
+    Attributes:
+        index: the item's input index.
+        error: one-line description of the last failure.
+        attempts: how many times the item was attempted.
+    """
+
+    index: int
+    error: str
+    attempts: int
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -32,14 +76,102 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _init_worker(plan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _run_group(fn, pairs):
+    """Run one task group ``[(index, item), ...]`` inside a worker.
+
+    Grouping amortises IPC: one submit/result round-trip carries many
+    items.  The fault plan (if any) is consulted per *item index*, so a
+    planned kill targets the same logical task regardless of grouping.
+    """
+    plan = _WORKER_PLAN
+    out = []
+    for index, item in pairs:
+        if plan is not None:
+            plan.maybe_kill(index)
+        out.append(fn(item))
+    return out
+
+
+def _run_isolated(fn, item, index, fault_plan, task_timeout):
+    """Run one item on a dedicated single-worker executor.
+
+    Returns ``(value, None)`` on success or ``(None, error)`` when the
+    worker died or timed out.  Used for retries, where isolation keeps
+    a persistently-crashing item from poisoning its pool-mates.
+    """
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context(),
+            initializer=_init_worker, initargs=(fault_plan,))
+    except (OSError, PermissionError, ImportError, ValueError):
+        return fn(item), None
+    hung = False
+    try:
+        try:
+            future = executor.submit(_run_group, fn, [(index, item)])
+        except _WORKER_DEATH as exc:
+            return None, f"worker died: {exc!r}"
+        timeout = None if task_timeout is None else task_timeout + 1.0
+        done, not_done = wait([future], timeout=timeout)
+        if not_done:
+            hung = True
+            return None, f"task exceeded its {task_timeout}s deadline"
+        try:
+            return future.result()[0], None
+        except _WORKER_DEATH as exc:
+            return None, f"worker died: {exc!r}"
+    finally:
+        _teardown(executor, hard=hung)
+
+
+def _teardown(executor: ProcessPoolExecutor, *, hard: bool) -> None:
+    """Shut an executor down; ``hard`` kills possibly-hung workers."""
+    if hard:
+        processes = getattr(executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+    try:
+        executor.shutdown(wait=not hard, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken pool cleanup races
+        pass
+
+
 def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
                  jobs: int | None = 1,
-                 chunksize: int | None = None) -> list[_R]:
+                 chunksize: int | None = None, *,
+                 retries: int = 1,
+                 task_timeout: float | None = None,
+                 backoff: float = 0.1,
+                 fault_plan=None,
+                 bus=None) -> list:
     """Ordered map of ``fn`` over ``items`` across ``jobs`` processes.
 
     ``fn`` and every item must be picklable (top-level functions and
     frozen-dataclass configurations are).  Results are ordered by input
     index regardless of worker completion order.
+
+    Fault tolerance: a crashed worker fails only the items of its task
+    group; those are retried ``retries`` times on a fresh executor
+    (single-item groups, exponential ``backoff``).  With
+    ``task_timeout`` set, an attempt that exceeds its wall-clock
+    allowance is torn down hard and its unfinished items treated like
+    crashes.  Items that exhaust their retries yield
+    :class:`TaskFailure` in their result slot -- callers decide whether
+    that is a quarantined verdict or an error.  ``fault_plan`` installs
+    a test-only :class:`~repro.robust.FaultPlan` in each worker;
+    ``bus`` receives ``robust.retry`` / ``robust.quarantine`` events.
+
+    Exceptions *raised by fn itself* propagate unchanged (a bug in the
+    worker function must stay loud); only worker death and timeouts are
+    converted into retries and failures.
     """
     seq: Sequence[_T] = list(items)
     jobs = resolve_jobs(jobs)
@@ -50,11 +182,94 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
         # Small chunks for load balance, but never one-item chunks over
         # a large input (IPC overhead would dominate the tiny runs).
         chunksize = max(1, len(seq) // (jobs * 4))
+
+    results: list = [_PENDING] * len(seq)
+    errors: dict[int, str] = {}
+    pending = list(range(len(seq)))
+
+    # -- first attempt: one shared executor, IPC-amortising groups -----
+    groups = [pending[i:i + chunksize]
+              for i in range(0, len(pending), chunksize)]
+    workers = min(jobs, len(groups))
     try:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=jobs) as pool:
-            return pool.map(fn, seq, chunksize=chunksize)
-    except (OSError, PermissionError, ImportError):
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(),
+            initializer=_init_worker, initargs=(fault_plan,))
+    except (OSError, PermissionError, ImportError, ValueError):
         # No usable multiprocessing primitives (e.g. /dev/shm sealed
-        # off); the serial path computes the identical result.
+        # off); the serial path computes the identical result (and
+        # never injects faults).
         return [fn(item) for item in seq]
+    not_done = set()
+    try:
+        future_groups = {}
+        for group in groups:
+            try:
+                future = executor.submit(
+                    _run_group, fn, [(i, seq[i]) for i in group])
+            except _WORKER_DEATH as exc:
+                for index in group:
+                    errors[index] = f"worker died: {exc!r}"
+                continue
+            future_groups[future] = group
+        timeout = None
+        if task_timeout is not None:
+            # Every worker handles ~groups/workers groups of ~chunksize
+            # items; allow that many per-item timeouts plus slack.
+            rounds = math.ceil(len(groups) / workers)
+            timeout = task_timeout * rounds * chunksize + 1.0
+        done, not_done = wait(future_groups, timeout=timeout)
+        for future in done:
+            group = future_groups[future]
+            try:
+                values = future.result()
+            except _WORKER_DEATH as exc:
+                for index in group:
+                    errors[index] = f"worker died: {exc!r}"
+                continue
+            for index, value in zip(group, values):
+                results[index] = value
+        for future in not_done:
+            for index in future_groups[future]:
+                errors[index] = (f"task exceeded its "
+                                 f"{task_timeout}s deadline")
+    finally:
+        _teardown(executor, hard=bool(not_done))
+    pending = [i for i in pending if results[i] is _PENDING]
+
+    # -- retries: each item in its own single-worker executor ----------
+    # A crashed worker fails every unfinished future on its executor
+    # (BrokenProcessPool poisons the pool), so rerunning survivors next
+    # to a persistent offender would re-fail them.  Isolation makes a
+    # second failure attributable to the item itself.
+    for attempt in range(1, retries + 1):
+        if not pending:
+            break
+        time.sleep(backoff * (2 ** (attempt - 1)))
+        if bus is not None:
+            bus.emit("robust.retry", attempt=attempt,
+                     indices=list(pending),
+                     what=f"retrying {len(pending)} task(s) on fresh "
+                          f"isolated workers (attempt {attempt + 1})")
+        still = []
+        for index in pending:
+            value, error = _run_isolated(fn, seq[index], index,
+                                         fault_plan, task_timeout)
+            if error is None:
+                results[index] = value
+                errors.pop(index, None)
+            else:
+                errors[index] = error
+                still.append(index)
+        pending = still
+
+    attempts = retries + 1
+    for index in pending:
+        error = errors.get(index, "worker died")
+        results[index] = TaskFailure(index, error, attempts)
+        if bus is not None:
+            bus.emit("robust.quarantine", index=index, error=error,
+                     what=f"task {index} quarantined after {attempts} "
+                          f"attempt(s): {error}")
+    return results

@@ -1,0 +1,18 @@
+"""Resource governance and fault injection (see docs/ROBUSTNESS.md).
+
+Public surface:
+
+* :class:`Budget` / :class:`BudgetMeter` -- per-run resource limits and
+  their runtime enforcement; threaded through the interpreter and the
+  allocator so governed runs always end in a structured
+  ``resource_exhausted`` :class:`~repro.errors.Outcome`.
+* :data:`DEFAULT_FUZZ_BUDGET` -- the deterministic safety net under
+  every fuzz campaign.
+* :class:`FaultPlan` -- test-only injected faults (fail the Nth
+  allocation, kill or hang a pool worker, delay a compile).
+"""
+
+from repro.robust.budget import Budget, BudgetMeter, DEFAULT_FUZZ_BUDGET
+from repro.robust.faults import FaultPlan
+
+__all__ = ["Budget", "BudgetMeter", "DEFAULT_FUZZ_BUDGET", "FaultPlan"]

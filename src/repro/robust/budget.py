@@ -1,0 +1,139 @@
+"""Resource budgets: every governed run terminates with an Outcome.
+
+The paper's evaluation (S5) depends on every suite program and every
+fuzz candidate terminating with a *classifiable* outcome.  A
+:class:`Budget` bounds one run along four axes -- interpreter steps,
+allocated bytes, allocation count, and wall-clock time -- and a
+:class:`BudgetMeter` enforces it at runtime, raising
+:class:`~repro.errors.ResourceExhausted` at the first violation.  The
+interpreter converts that into an ``Outcome`` of kind
+``resource_exhausted`` carrying *which* limit fired and *where*, so a
+``while(1)`` loop or an allocation bomb degrades into a structured
+verdict instead of a hang or a raw ``MemoryError``.
+
+Determinism: the ``steps`` / ``memory`` / ``allocations`` axes are pure
+functions of the program, so a budgeted parallel run stays bit-identical
+to the serial one.  The ``deadline`` axis reads the wall clock and is
+therefore *not* deterministic -- the default fuzz budget deliberately
+leaves it unset (see :data:`DEFAULT_FUZZ_BUDGET`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ResourceExhausted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.obs.events import EventBus
+    from repro.robust.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-run resource limits (``None`` = unlimited on that axis).
+
+    Attributes:
+        max_steps: interpreter evaluation-step ceiling (deterministic).
+        max_alloc_bytes: total bytes reserved by the allocator across
+            the run, counting representability padding (deterministic).
+        max_allocations: total allocation count, including function and
+            string-literal allocations (deterministic).
+        deadline: wall-clock seconds from the start of interpretation
+            (NOT deterministic; checked every 1024 steps).
+    """
+
+    max_steps: int | None = None
+    max_alloc_bytes: int | None = None
+    max_allocations: int | None = None
+    deadline: float | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (self.max_steps is None and self.max_alloc_bytes is None
+                and self.max_allocations is None and self.deadline is None)
+
+
+#: The safety net under every fuzz campaign: generous enough that no
+#: well-formed generated program is affected, but a nonterminating or
+#: allocation-bombing candidate becomes a ``resource_exhausted`` verdict
+#: instead of hanging ``repro fuzz``.  Deterministic axes only, so
+#: parallel fuzz stays bit-identical to serial.
+DEFAULT_FUZZ_BUDGET = Budget(max_steps=2_000_000,
+                             max_alloc_bytes=256 * 1024 * 1024,
+                             max_allocations=1_000_000)
+
+
+class BudgetMeter:
+    """Runtime enforcement of one :class:`Budget` over one run.
+
+    The interpreter charges steps inline (its hot path keeps the limits
+    as plain attributes); the allocator charges every reservation
+    through :meth:`charge_allocation`.  When a bus is attached, every
+    cut-off emits a ``robust.cutoff`` event naming the limit, so the
+    explainer can show why the case stopped.  A :class:`FaultPlan` may
+    be attached to inject allocation failures (tests only).
+    """
+
+    def __init__(self, budget: Budget | None = None, *,
+                 bus: "EventBus | None" = None,
+                 faults: "FaultPlan | None" = None) -> None:
+        self.budget = budget if budget is not None else Budget()
+        self.bus = bus
+        self.faults = faults
+        self.alloc_bytes = 0
+        self.allocations = 0
+        #: Absolute monotonic deadline, fixed when the meter is created
+        #: (immediately before interpretation starts).
+        self.deadline_at: float | None = None
+        if self.budget.deadline is not None:
+            self.deadline_at = time.monotonic() + self.budget.deadline
+
+    def cut(self, limit: str, where: str = "") -> "NoReturn":  # noqa: F821
+        """Record and raise the cut-off for ``limit``."""
+        bus = self.bus
+        if bus is not None:
+            bus.emit("robust.cutoff", limit=limit, where=where,
+                     what=f"budget exhausted ({limit}): {where}")
+        raise ResourceExhausted(limit, where)
+
+    def charge_allocation(self, size: int, where: str = "") -> None:
+        """Account one allocator reservation of ``size`` (padded) bytes.
+
+        Fault injection fires *before* accounting so a planned failure
+        of allocation N is independent of the budget axes.
+        """
+        faults = self.faults
+        if faults is not None and faults.fails_alloc(self.allocations):
+            bus = self.bus
+            if bus is not None:
+                bus.emit("robust.fault", index=self.allocations,
+                         what=f"injected failure of allocation "
+                              f"#{self.allocations} ({where})")
+            raise ResourceExhausted(
+                "fault", f"injected failure of allocation "
+                         f"#{self.allocations} ({where})")
+        self.allocations += 1
+        self.alloc_bytes += size
+        budget = self.budget
+        if budget.max_allocations is not None and \
+                self.allocations > budget.max_allocations:
+            self.cut("allocations",
+                     f"allocation #{self.allocations} ({where}) over the "
+                     f"{budget.max_allocations}-allocation budget")
+        if budget.max_alloc_bytes is not None and \
+                self.alloc_bytes > budget.max_alloc_bytes:
+            self.cut("memory",
+                     f"{self.alloc_bytes} bytes reserved ({where}) over "
+                     f"the {budget.max_alloc_bytes}-byte budget")
+
+    def check_deadline(self, steps: int) -> None:
+        """Raise when the wall-clock deadline has passed (the
+        interpreter calls this every 1024 steps)."""
+        if self.deadline_at is not None and \
+                time.monotonic() >= self.deadline_at:
+            self.cut("deadline",
+                     f"wall-clock deadline of {self.budget.deadline}s "
+                     f"passed at step {steps}")

@@ -1,0 +1,83 @@
+"""Deterministic fault injection for the robustness test layer.
+
+A :class:`FaultPlan` describes *one* misbehaviour to inject into an
+otherwise-normal run: fail the Nth allocation, delay a compile, or kill
+(or hang) the pool worker executing the Nth task.  Plans are plain
+frozen dataclasses so they pickle cleanly into worker processes; the
+engine only consults them when a test passes one explicitly -- production
+paths never construct a plan.
+
+Worker-level faults (kill/hang) would otherwise re-fire after the pool
+retries the task on a fresh worker, so a plan can carry a *once token*:
+a filesystem path used as a cross-process latch.  The first process to
+create the file wins the right to misbehave; every retry then runs
+clean, which is exactly the "transient fault" scenario the retry policy
+exists for.  Leave ``once_token`` unset to model a *persistent* fault
+that fires on every attempt (the quarantine scenario).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One planned fault.  All fields default to "no fault".
+
+    Attributes:
+        fail_alloc_index: fail the allocation with this 0-based index
+            (raises :class:`~repro.errors.ResourceExhausted` with limit
+            ``fault`` from inside the allocator).
+        compile_delay: sleep this many seconds before compiling
+            (exercises deadline/timeout paths without a hot loop).
+        kill_task_index: the worker executing the task with this 0-based
+            input index dies with ``os._exit(1)`` -- no Python cleanup,
+            exactly like an OOM kill or segfault.
+        hang_task_index: the worker executing this task sleeps for
+            ``hang_seconds`` instead of running it (exercises the pool's
+            task timeout).
+        hang_seconds: how long a hung task sleeps.
+        once_token: path of a latch file; when set, kill/hang faults
+            fire only for the first process that manages to create it.
+    """
+
+    fail_alloc_index: int | None = None
+    compile_delay: float | None = None
+    kill_task_index: int | None = None
+    hang_task_index: int | None = None
+    hang_seconds: float = 3600.0
+    once_token: str | None = None
+
+    def _once(self) -> bool:
+        """True when this process wins (or doesn't need) the latch."""
+        if self.once_token is None:
+            return True
+        try:
+            Path(self.once_token).touch(exist_ok=False)
+        except OSError:
+            return False
+        return True
+
+    def fails_alloc(self, index: int) -> bool:
+        """Should the allocation with this 0-based index fail?"""
+        return self.fail_alloc_index is not None and \
+            index == self.fail_alloc_index and self._once()
+
+    def maybe_kill(self, task_index: int) -> None:
+        """Kill or hang the current worker if this task is the target.
+
+        Called by the pool worker immediately before running a task.
+        ``os._exit`` skips all Python-level cleanup so the parent sees
+        the same broken-pipe/broken-pool symptoms as a real worker
+        crash.
+        """
+        if self.kill_task_index is not None and \
+                task_index == self.kill_task_index and self._once():
+            os._exit(1)
+        if self.hang_task_index is not None and \
+                task_index == self.hang_task_index and self._once():
+            time.sleep(self.hang_seconds)

@@ -256,7 +256,8 @@ int main(void){ return f(1, 2); }""")
 
     def test_runaway_loop_cut_off(self):
         out = run_abstract("int main(void){ while (1) ; return 0; }")
-        assert out.kind is OutcomeKind.ERROR
+        assert out.kind is OutcomeKind.RESOURCE
+        assert out.limit == "steps"
 
 
 class TestStructsUnions:

@@ -250,7 +250,7 @@ class TestExplainer:
         events = [{"seq": 9, "step": 4, "kind": "check.ub",
                    "ub": "U", "addr": "0x123"}]
         assert explaining_signature(events) == ("check.ub", "U", None,
-                                                None, None)
+                                                None, None, None)
 
     def test_empty_trace(self):
         assert final_event([]) is None

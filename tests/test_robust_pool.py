@@ -1,0 +1,160 @@
+"""Hardened-pool fault injection (ISSUE 4, docs/ROBUSTNESS.md).
+
+The properties under test:
+
+* a worker killed mid-task is retried on a fresh worker and the final
+  report is **byte-identical** to a fault-free serial run;
+* a task that fails twice lands in the report as *quarantined* -- one
+  bad case never aborts the run or poisons its pool-mates;
+* a hung worker is detected via the task timeout and torn down within
+  bounded wall-clock time.
+
+All worker functions are top-level so they pickle into workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import OutcomeKind
+from repro.fuzz.driver import run_fuzz
+from repro.obs import EventBus
+from repro.perf.pool import TaskFailure, parallel_map
+from repro.robust import FaultPlan
+from repro.testsuite.compare import run_suite
+from repro.testsuite.suite import all_cases
+
+
+def _double(x):
+    return 2 * x
+
+
+def _slow(x):
+    time.sleep(0.05)
+    return x
+
+
+class TestParallelMapFaults:
+    def test_kill_once_is_retried_to_identical_results(self, tmp_path):
+        plan = FaultPlan(kill_task_index=3,
+                         once_token=str(tmp_path / "latch"))
+        results = parallel_map(_double, range(10), jobs=2,
+                               fault_plan=plan)
+        assert results == [_double(i) for i in range(10)]
+
+    def test_persistent_kill_quarantines_only_that_task(self):
+        results = parallel_map(_double, range(10), jobs=2,
+                               fault_plan=FaultPlan(kill_task_index=3))
+        failure = results[3]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 3
+        assert failure.attempts == 2
+        for i in range(10):
+            if i != 3:
+                assert results[i] == _double(i)
+
+    def test_hang_once_is_retried(self, tmp_path):
+        plan = FaultPlan(hang_task_index=2,
+                         once_token=str(tmp_path / "latch"))
+        started = time.monotonic()
+        results = parallel_map(_double, range(6), jobs=2,
+                               fault_plan=plan, task_timeout=0.5)
+        assert results == [_double(i) for i in range(6)]
+        assert time.monotonic() - started < 60.0
+
+    def test_persistent_hang_quarantined_in_bounded_time(self):
+        started = time.monotonic()
+        results = parallel_map(_double, range(6), jobs=2,
+                               fault_plan=FaultPlan(hang_task_index=2),
+                               task_timeout=0.5)
+        assert isinstance(results[2], TaskFailure)
+        assert "deadline" in results[2].error
+        assert time.monotonic() - started < 60.0
+
+    def test_retry_and_quarantine_emit_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        parallel_map(_double, range(8), jobs=2,
+                     fault_plan=FaultPlan(kill_task_index=1), bus=bus)
+        kinds = [e.kind for e in seen]
+        assert "robust.retry" in kinds
+        assert "robust.quarantine" in kinds
+
+    def test_no_fault_plan_on_serial_path(self):
+        # jobs=1 never forks, so a kill plan must be inert.
+        results = parallel_map(_double, range(4), jobs=1,
+                               fault_plan=FaultPlan(kill_task_index=0))
+        assert results == [_double(i) for i in range(4)]
+
+    def test_fn_exceptions_stay_loud(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [1, 0, 2], jobs=1)
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
+def _report_bytes(report) -> str:
+    """The full observable content of a suite report."""
+    lines = [report.summary_line()]
+    for result in report.results:
+        lines.append(f"{result.case.name} {result.outcome.describe()} "
+                     f"{result.outcome.stdout!r} {result.passed}")
+    return "\n".join(lines)
+
+
+class TestSuiteUnderFaults:
+    CASES = tuple(all_cases()[:6])
+
+    def test_kill_once_report_identical_to_serial(self, tmp_path):
+        from repro.impls import CERBERUS
+        serial = run_suite(CERBERUS, self.CASES, jobs=1)
+        plan = FaultPlan(kill_task_index=2,
+                         once_token=str(tmp_path / "latch"))
+        faulted = run_suite(CERBERUS, self.CASES, jobs=2,
+                            fault_plan=plan)
+        assert _report_bytes(faulted) == _report_bytes(serial)
+        assert faulted.quarantined == 0
+
+    def test_persistent_kill_is_quarantined_not_a_crash(self):
+        from repro.impls import CERBERUS
+        report = run_suite(CERBERUS, self.CASES, jobs=2,
+                           fault_plan=FaultPlan(kill_task_index=2))
+        assert len(report.results) == len(self.CASES)
+        assert report.quarantined == 1
+        victim = report.results[2]
+        assert victim.quarantined
+        assert victim.outcome.kind is OutcomeKind.RESOURCE
+        assert victim.outcome.limit == "worker"
+        assert victim.passed is None  # no verdict, not a failure
+        assert "quarantined   1" in report.summary_line()
+        # Every other case still carries its real verdict.
+        others = [r for i, r in enumerate(report.results) if i != 2]
+        assert all(not r.quarantined for r in others)
+
+
+class TestFuzzUnderFaults:
+    def _signature(self, report):
+        return (report.iterations, report.reference_counts,
+                [g.describe() for g in report.sorted_groups()],
+                sorted(g.minimized_source or "" for g in report.groups))
+
+    def test_kill_once_report_identical_to_serial(self, tmp_path):
+        serial = run_fuzz(seed=0, iterations=6, jobs=1, shrink_budget=5)
+        plan = FaultPlan(kill_task_index=3,
+                         once_token=str(tmp_path / "latch"))
+        faulted = run_fuzz(seed=0, iterations=6, jobs=2, shrink_budget=5,
+                           fault_plan=plan)
+        assert self._signature(faulted) == self._signature(serial)
+        assert faulted.quarantined == []
+
+    def test_persistent_kill_completes_with_quarantine(self):
+        report = run_fuzz(seed=0, iterations=6, jobs=2, shrink_budget=5,
+                          fault_plan=FaultPlan(kill_task_index=3))
+        assert report.iterations == 6
+        assert report.quarantined == [3]
+        assert report.reference_counts.get("quarantined") == 1

@@ -129,6 +129,53 @@ MODEL_LEVEL = {UB.WRITE_TO_CONST, UB.EMPTY_PROVENANCE_ACCESS,
                UB.ACCESS_OUT_OF_BOUNDS}
 
 
+def _suite_expected_ubs() -> set[UB]:
+    """Every UB named by a suite case expectation (reference, hardware,
+    or per-implementation override)."""
+    from repro.testsuite.suite import all_cases
+    ubs: set[UB] = set()
+    for case in all_cases():
+        expectations = [case.expect, case.hardware,
+                        *case.overrides.values()]
+        for expected in expectations:
+            if expected is not None and expected.ub is not None:
+                ubs.add(expected.ub)
+    return ubs
+
+
+def _corpus_expected_ubs() -> set[UB]:
+    """Every UB named by a regression-corpus expectation (the recorded
+    ``Outcome.describe()`` strings embed the catalogue value)."""
+    import pathlib
+
+    from repro.fuzz.corpus import load_corpus
+    corpus_dir = pathlib.Path(__file__).parent / "corpus"
+    ubs: set[UB] = set()
+    by_value = {str(u): u for u in UB}
+    for case in load_corpus(corpus_dir):
+        for described in case.expectations.values():
+            if described.startswith("UB "):
+                ub = by_value.get(described[3:])
+                if ub is not None:
+                    ubs.add(ub)
+    return ubs
+
+
+def test_every_cheri_ub_exercised_by_suite_or_corpus():
+    """Audit (ISSUE 4): each CHERI-specific catalogue entry must be
+    *triggered* -- expected by at least one validation-suite case or one
+    regression-corpus entry -- not merely reachable by the witness
+    programs above.  Fails with the list of unexercised entries so a
+    catalogue addition without a suite/corpus trigger is caught here."""
+    exercised = _suite_expected_ubs() | _corpus_expected_ubs()
+    unexercised = sorted(u.name for u in UB
+                         if u.is_cheri and u not in exercised)
+    assert not unexercised, (
+        "CHERI UB kinds defined in errors.py but never expected by any "
+        f"suite case or corpus entry: {unexercised}; add a triggering "
+        "case to the validation suite or save a fuzz corpus entry")
+
+
 @pytest.mark.parametrize("ub", [u for u in UB if u not in MODEL_LEVEL],
                          ids=lambda u: u.name)
 def test_every_ub_reachable_from_c(ub):
