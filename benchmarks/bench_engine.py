@@ -8,12 +8,19 @@ at the repository root:
 * the S5 compliance comparison (``repro compare``) -- serial uncached
   baseline, cold-cache serial, and cached + parallel (``--jobs``);
 * differential fuzzing throughput (``repro fuzz``) -- serial vs
-  parallel candidate evaluation for a fixed seed and iteration count.
+  parallel candidate evaluation for a fixed seed and iteration count;
+* the evaluator axis (``--evaluator ast`` vs ``core``) -- the recursive
+  AST walker against the iterative Core-IR evaluator on a serial cached
+  compliance run and on fuzz throughput.
 
 Correctness is part of the benchmark: the run **fails (exit 1) if the
 parallel compliance report or the parallel fuzz groups diverge from the
-serial ones**, so CI's benchmark smoke job doubles as a determinism
-gate for the worker pool.
+serial ones, or if the two evaluators render differing compliance
+reports**, so CI's benchmark smoke job doubles as a determinism gate
+for the worker pool.  The evaluator axis additionally gates
+**Core <= AST on the serial warm-cache compliance run** (best of three
+timings each): the default evaluator must not cost more than the
+strategy it replaced.
 
 Usage::
 
@@ -117,6 +124,57 @@ def bench_fuzz(seed, iterations, jobs, shrink_budget):
     return signatures, timings
 
 
+def bench_evaluators(cases, seed, iterations, shrink_budget):
+    """The evaluator axis: AST walker vs Core evaluator, serial.
+
+    Compliance timings are warm-cache best-of-three: one untimed run
+    populates the compile/elaboration caches, then three timed runs
+    measure the run stage alone.  That isolates the axis under test --
+    evaluator speed -- from compile-stage cost, which the cold-vs-
+    cached compare numbers already capture, and matches how the
+    evaluator runs in practice (elaboration is cached and amortised
+    across a suite or fuzz campaign).  The rendered compliance reports
+    must be byte-identical.
+    """
+    def compliance(evaluator):
+        clear_cache()
+        report, _ = timed(lambda: compare_implementations(
+            ALL_IMPLEMENTATIONS, cases, jobs=1, use_cache=True,
+            evaluator=evaluator))
+        times = []
+        for _ in range(3):
+            report, elapsed = timed(lambda: compare_implementations(
+                ALL_IMPLEMENTATIONS, cases, jobs=1, use_cache=True,
+                evaluator=evaluator))
+            times.append(elapsed)
+        return render_compliance(report), min(times)
+
+    def fuzz(evaluator):
+        clear_cache()
+        report, elapsed = timed(lambda: run_fuzz(
+            seed=seed, iterations=iterations, jobs=1,
+            shrink_budget=shrink_budget, use_cache=True,
+            evaluator=evaluator))
+        return fuzz_signature(report), elapsed
+
+    ast_report, t_ast = compliance("ast")
+    core_report, t_core = compliance("core")
+    ast_fuzz, t_ast_fuzz = fuzz("ast")
+    core_fuzz, t_core_fuzz = fuzz("core")
+
+    reports = {"ast": ast_report, "core": core_report,
+               "fuzz_ast": ast_fuzz, "fuzz_core": core_fuzz}
+    timings = {
+        "compliance_ast_s": round(t_ast, 4),
+        "compliance_core_s": round(t_core, 4),
+        "speedup_core_compliance": round(t_ast / t_core, 3),
+        "fuzz_ast_programs_per_s": round(iterations / t_ast_fuzz, 3),
+        "fuzz_core_programs_per_s": round(iterations / t_core_fuzz, 3),
+        "speedup_core_fuzz": round(t_ast_fuzz / t_core_fuzz, 3),
+    }
+    return reports, timings
+
+
 def append_trajectory(path: pathlib.Path, entry: dict) -> None:
     trajectory = {"schema": SCHEMA_VERSION, "benchmark": "engine",
                   "entries": []}
@@ -156,6 +214,9 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_signatures, fuzz_timings = bench_fuzz(
         seed=0, iterations=fuzz_iterations, jobs=jobs,
         shrink_budget=shrink_budget)
+    evaluator_reports, evaluator_timings = bench_evaluators(
+        cases, seed=0, iterations=fuzz_iterations,
+        shrink_budget=shrink_budget)
 
     ok = True
     if compare_reports["cached"] != compare_reports["serial"]:
@@ -168,6 +229,25 @@ def main(argv: list[str] | None = None) -> int:
         ok = False
     if fuzz_signatures["parallel"] != fuzz_signatures["serial"]:
         print("FAIL: parallel fuzz report diverges from serial",
+              file=sys.stderr)
+        ok = False
+    if evaluator_reports["core"] != evaluator_reports["ast"]:
+        print("FAIL: Core-evaluator compliance report diverges from "
+              "the AST walker's", file=sys.stderr)
+        ok = False
+    if evaluator_reports["fuzz_core"] != evaluator_reports["fuzz_ast"]:
+        print("FAIL: Core-evaluator fuzz report diverges from the AST "
+              "walker's", file=sys.stderr)
+        ok = False
+
+    # Evaluator-cost gate (ISSUE 5): the Core evaluator is the default,
+    # so it must not run the serial compliance suite slower than the
+    # AST walker it replaced (best-of-two timings each).
+    if evaluator_timings["speedup_core_compliance"] < 1.0:
+        print(f"FAIL: Core evaluator slower than the AST walker on the "
+              f"serial compliance run "
+              f"({evaluator_timings['compliance_core_s']}s vs "
+              f"{evaluator_timings['compliance_ast_s']}s)",
               file=sys.stderr)
         ok = False
 
@@ -193,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         "implementations": len(ALL_IMPLEMENTATIONS),
         "compare": compare_timings,
         "fuzz": fuzz_timings,
+        "evaluator": evaluator_timings,
         "throughput_gate": throughput_gated,
         "deterministic": ok,
     }
@@ -208,6 +289,13 @@ def main(argv: list[str] | None = None) -> int:
           f"programs/s, parallel "
           f"{fuzz_timings['parallel_programs_per_s']} programs/s "
           f"({fuzz_timings['speedup_parallel']}x)")
+    print(f"evaluator: compliance ast "
+          f"{evaluator_timings['compliance_ast_s']}s vs core "
+          f"{evaluator_timings['compliance_core_s']}s "
+          f"({evaluator_timings['speedup_core_compliance']}x); fuzz ast "
+          f"{evaluator_timings['fuzz_ast_programs_per_s']} vs core "
+          f"{evaluator_timings['fuzz_core_programs_per_s']} programs/s "
+          f"({evaluator_timings['speedup_core_fuzz']}x)")
     print(f"{'OK' if ok else 'DIVERGENCE'}: trajectory entry appended "
           f"to {output}")
     return 0 if ok else 1

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The evaluator-differential gate (CI job ``evaluator-differential``).
+
+The repository carries two complete execution strategies for the same
+semantics: the recursive AST walker (:mod:`repro.core.interp`) and the
+iterative Core-IR evaluator (:mod:`repro.core.coreeval`), elaborated by
+:mod:`repro.core.elaborate`.  The Core evaluator is the process
+default; the AST walker is the oracle it is judged against.  This gate
+is what makes that arrangement safe: it renders
+
+* the full S5 compliance report (every implementation x every suite
+  case), and
+* a fixed-seed fuzz campaign report (default 500 generated programs,
+  every divergence classified and minimized),
+
+under *both* evaluators, serially and with a worker pool, and demands
+the rendered reports be **byte-identical** pairwise.  Outcome kinds,
+exit codes, stdout, UB catalogue entries, step-metered budget cutoffs,
+divergence grouping, and shrinker results all feed those renderings, so
+a single differing byte fails the gate.
+
+``FuzzReport.elapsed`` is wall-clock and is the one intentionally
+nondeterministic field in the rendering; it is normalised to zero on
+every report before comparison.
+
+Exit status 0 = the evaluators agree; 1 = any pair of reports differs
+(a unified diff is printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+import time
+
+from repro.fuzz import run_fuzz
+from repro.impls import ALL_IMPLEMENTATIONS
+from repro.reporting.tables import render_compliance, render_fuzz_summary
+from repro.testsuite.compare import compare_implementations
+
+EVALUATORS = ("ast", "core")
+
+
+def suite_rendering(evaluator: str, jobs: int) -> str:
+    reports = compare_implementations(ALL_IMPLEMENTATIONS, jobs=jobs,
+                                      evaluator=evaluator)
+    return render_compliance(reports)
+
+
+def fuzz_rendering(evaluator: str, jobs: int, seed: int,
+                   iterations: int) -> str:
+    report = run_fuzz(seed=seed, iterations=iterations, jobs=jobs,
+                      evaluator=evaluator)
+    # Wall-clock is the only nondeterministic field in the rendering.
+    report.elapsed = 0.0
+    return render_fuzz_summary(report)
+
+
+def check_pair(label: str, by_evaluator: dict[str, str]) -> bool:
+    ast_text, core_text = (by_evaluator[e] for e in EVALUATORS)
+    if ast_text == core_text:
+        print(f"  {label}: byte-identical "
+              f"({len(core_text)} bytes)")
+        return True
+    print(f"  {label}: REPORTS DIFFER")
+    sys.stdout.writelines(difflib.unified_diff(
+        ast_text.splitlines(keepends=True),
+        core_text.splitlines(keepends=True),
+        fromfile=f"{label} [ast]", tofile=f"{label} [core]"))
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Require byte-identical suite and fuzz reports from "
+                    "the AST and Core evaluators")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzz campaign seed (default: 0)")
+    parser.add_argument("--fuzz-iterations", type=int, default=500,
+                        metavar="N",
+                        help="fuzz programs per campaign (default: 500)")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker count for the parallel arm "
+                             "(default: 4; the serial arm always runs)")
+    args = parser.parse_args(argv)
+
+    ok = True
+    for jobs, arm in ((1, "serial"), (args.jobs, f"--jobs {args.jobs}")):
+        started = time.monotonic()
+        suites = {e: suite_rendering(e, jobs) for e in EVALUATORS}
+        ok &= check_pair(f"S5 compliance report, {arm}", suites)
+        fuzzes = {e: fuzz_rendering(e, jobs, args.seed,
+                                    args.fuzz_iterations)
+                  for e in EVALUATORS}
+        ok &= check_pair(
+            f"fuzz report (seed {args.seed}, "
+            f"{args.fuzz_iterations} programs), {arm}", fuzzes)
+        print(f"  [{arm} arm: {time.monotonic() - started:.1f}s]")
+    print("evaluator-differential: "
+          + ("PASS" if ok else "FAIL (evaluators disagree)"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Usage::
     repro fuzz --seed 0 --time-budget 30 --corpus-dir tests/corpus
     repro trace test.c --explain     # semantic event trace + UB explainer
     repro trace test.c --jsonl out.jsonl --metrics
+    repro run test.c --dump-core     # print the elaborated Core IR
+    repro suite --evaluator ast      # run on the recursive AST walker
 
 ``--jobs N`` fans runs across N worker processes (0 = all cores) with
 results stitched back in input order, so reports are bit-identical to
@@ -23,6 +25,9 @@ cache (see docs/PERFORMANCE.md).  ``--max-steps/--max-allocations/
 --max-alloc-bytes/--deadline`` put a resource budget on every run, so
 even a nonterminating program ends with a structured
 ``resource_exhausted`` outcome (see docs/ROBUSTNESS.md).
+``--evaluator {ast,core}`` selects the execution strategy (default:
+``core``, the iterative Core-IR evaluator; see docs/SEMANTICS.md S11)
+and ``--dump-core`` prints the elaborated listing instead of running.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the shared compilation cache "
                              "(each run re-parses and re-optimises)")
+    parser.add_argument("--evaluator", choices=("ast", "core"),
+                        default=None,
+                        help="execution strategy: the recursive AST "
+                             "walker or the iterative Core-IR evaluator "
+                             "(default: core; both are held "
+                             "byte-identical by the differential gate)")
     budgets = parser.add_argument_group(
         "resource budgets",
         "per-run limits (docs/ROBUSTNESS.md); a run over budget ends "
@@ -82,6 +93,16 @@ def _apply_cache_flag(args) -> bool:
     return use_cache
 
 
+def _apply_evaluator_flag(args) -> str | None:
+    """Set the process-wide evaluator default when ``--evaluator`` is
+    given; returns the choice to thread into worker processes (None =
+    flag absent, keep the default)."""
+    if getattr(args, "evaluator", None) is not None:
+        from repro.core.coreeval import set_default_evaluator
+        set_default_evaluator(args.evaluator)
+    return getattr(args, "evaluator", None)
+
+
 def fuzz_main(argv: list[str]) -> int:
     """The ``fuzz`` subcommand: differential fuzzing of the registry."""
     parser = argparse.ArgumentParser(
@@ -116,6 +137,7 @@ def fuzz_main(argv: list[str]) -> int:
     _add_engine_flags(parser)
     args = parser.parse_args(argv)
     use_cache = _apply_cache_flag(args)
+    evaluator = _apply_evaluator_flag(args)
 
     from repro.fuzz import run_fuzz
     from repro.reporting.tables import render_fuzz_summary
@@ -140,7 +162,8 @@ def fuzz_main(argv: list[str]) -> int:
         progress=progress,
         jobs=args.jobs,
         use_cache=use_cache,
-        budget=budget)
+        budget=budget,
+        evaluator=evaluator)
     print(render_fuzz_summary(report), end="")
     return 0 if report.ok else 1
 
@@ -174,12 +197,14 @@ def suite_main(argv: list[str]) -> int:
     _add_engine_flags(parser)
     args = parser.parse_args(argv)
     use_cache = _apply_cache_flag(args)
+    evaluator = _apply_evaluator_flag(args)
 
     from repro.testsuite.compare import run_suite
 
     report = run_suite(by_name(args.impl), _select_cases(args.case),
                        jobs=args.jobs, with_metrics=args.metrics,
-                       use_cache=use_cache, budget=_budget_from(args))
+                       use_cache=use_cache, budget=_budget_from(args),
+                       evaluator=evaluator)
     print(report.summary_line())
     for result in report.failures():
         expected = result.expected.describe() if result.expected else "?"
@@ -202,6 +227,7 @@ def compare_main(argv: list[str]) -> int:
     _add_engine_flags(parser)
     args = parser.parse_args(argv)
     use_cache = _apply_cache_flag(args)
+    evaluator = _apply_evaluator_flag(args)
 
     from repro.reporting.tables import render_compliance
     from repro.testsuite.compare import compare_implementations
@@ -209,7 +235,8 @@ def compare_main(argv: list[str]) -> int:
     reports = compare_implementations(ALL_IMPLEMENTATIONS,
                                       _select_cases(args.case),
                                       jobs=args.jobs, use_cache=use_cache,
-                                      budget=_budget_from(args))
+                                      budget=_budget_from(args),
+                                      evaluator=evaluator)
     print(render_compliance(reports))
     return 0 if all(report.failed == 0 for report in reports) else 1
 
@@ -238,7 +265,13 @@ def trace_main(argv: list[str]) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print run metrics (event counts, UB "
                              "verdicts, allocator totals)")
+    parser.add_argument("--evaluator", choices=("ast", "core"),
+                        default=None,
+                        help="execution strategy (default: core; under "
+                             "core every event carries the Core op id "
+                             "that produced it)")
     args = parser.parse_args(argv)
+    evaluator = _apply_evaluator_flag(args)
 
     from repro.obs import EventBus, Metrics, TraceRecorder, explain
 
@@ -252,7 +285,7 @@ def trace_main(argv: list[str]) -> int:
     metrics = Metrics()
     metrics.attach(bus)
     metrics.start()
-    outcome = impl.run(source, bus=bus)
+    outcome = impl.run(source, bus=bus, evaluator=evaluator)
     metrics.finish(steps=bus.step)
 
     if outcome.stdout:
@@ -310,9 +343,14 @@ def _run_main(argv: list[str]) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print run metrics (event counts, UB "
                              "verdicts, allocator totals) after the run")
+    parser.add_argument("--dump-core", action="store_true",
+                        help="print the elaborated Core IR listing for "
+                             "the chosen implementation instead of "
+                             "running the program")
     _add_engine_flags(parser)
     args = parser.parse_args(argv)
     use_cache = _apply_cache_flag(args)
+    evaluator = _apply_evaluator_flag(args)
 
     if args.list:
         from repro.impls.registry import _BY_NAME
@@ -344,17 +382,32 @@ def _run_main(argv: list[str]) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
 
+    if args.dump_core:
+        from repro.core.coreir import render_core
+        from repro.errors import CSyntaxError, CTypeError
+        from repro.perf import compile_core
+        impl = by_name(args.impl)
+        try:
+            core = compile_core(impl, source, use_cache=use_cache)
+        except (CSyntaxError, CTypeError) as exc:
+            print(f"[{impl.name}] rejected: {exc}", file=sys.stderr)
+            return 1
+        print(render_core(core))
+        return 0
+
     budget = _budget_from(args)
 
     def run_with_metrics(impl):
         if not args.metrics:
-            return impl.run(source, budget=budget), None
+            return impl.run(source, budget=budget,
+                            evaluator=evaluator), None
         from repro.obs import EventBus, Metrics
         bus = EventBus()
         metrics = Metrics()
         metrics.attach(bus)
         metrics.start()
-        outcome = impl.run(source, bus=bus, budget=budget)
+        outcome = impl.run(source, bus=bus, budget=budget,
+                           evaluator=evaluator)
         metrics.finish(steps=bus.step)
         return outcome, metrics
 

@@ -18,7 +18,6 @@ wrapping arithmetic), selected by the memory model's mode.
 from __future__ import annotations
 
 import io
-import sys
 from dataclasses import dataclass
 
 from repro.capability.permissions import Permission
@@ -155,21 +154,12 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, main: str = "main") -> Outcome:
-        # ~10 host frames per C call: headroom so the deterministic
-        # CALL_DEPTH_LIMIT guard fires before the host RecursionError
-        # backstop (whose trigger depth varies with the caller's stack,
-        # which would make recursive programs classify differently in
-        # pool workers than in the main process).
-        host_limit = sys.getrecursionlimit()
-        if host_limit < 8000:
-            sys.setrecursionlimit(8000)
-        try:
-            outcome = self._run(main)
-        finally:
-            sys.setrecursionlimit(host_limit)
+        outcome = self._run(main)
         bus = self.bus
         if bus is not None:
             bus.step = self.steps
+            # The outcome is a run-level summary, not tied to any op.
+            bus.op = None
             bus.emit("run.outcome", outcome=outcome.kind.value,
                      ub=str(outcome.ub) if outcome.ub is not None else None,
                      trap=(str(outcome.trap) if outcome.trap is not None
@@ -195,19 +185,7 @@ class Interpreter:
 
     def _run(self, main: str) -> Outcome:
         try:
-            self._setup()
-            fdef = self.functions.get(main)
-            if fdef is None or fdef.body is None:
-                return Outcome.frontend_error(f"no function {main!r}")
-            result = self.call_function(fdef, [])
-            if isinstance(result, MVUnspecified):
-                # S3.5: ghost state reached main's return value; there is
-                # no single correct concrete exit status.
-                return Outcome.exited_unspecified(self.out.getvalue())
-            status = 0
-            if result is not None and isinstance(result, MVInteger):
-                status = self.layout.wrap(IKind.INT, result.ival.value())
-            return Outcome.exited(status, self.out.getvalue())
+            return self._execute(main)
         except UndefinedBehaviour as exc:
             return Outcome.undefined(exc.ub, exc.detail, self.out.getvalue())
         except CheriTrap as exc:
@@ -234,7 +212,32 @@ class Interpreter:
                 "python-memory", "host interpreter out of memory",
                 self.out.getvalue())
 
-    def _setup(self) -> None:
+    def _execute(self, main: str) -> Outcome:
+        """The evaluation strategy: the AST walker here, overridden by
+        the iterative Core evaluator."""
+        self._setup()
+        fdef = self.functions.get(main)
+        if fdef is None or fdef.body is None:
+            return Outcome.frontend_error(f"no function {main!r}")
+        result = self.call_function(fdef, [])
+        return self._main_outcome(result)
+
+    def _main_outcome(self, result: MemoryValue | None) -> Outcome:
+        if isinstance(result, MVUnspecified):
+            # S3.5: ghost state reached main's return value; there is
+            # no single correct concrete exit status.
+            return Outcome.exited_unspecified(self.out.getvalue())
+        status = 0
+        if result is not None and isinstance(result, MVInteger):
+            status = self.layout.wrap(IKind.INT, result.ival.value())
+        return Outcome.exited(status, self.out.getvalue())
+
+    def _register_static_storage(self) -> list[tuple[GlobalDecl, Binding]]:
+        """Register functions (with dedup of prototypes against
+        definitions) and allocate all globals *before* any initialiser
+        runs (so initialisers may take addresses of later globals);
+        uninitialised static objects are zero (ISO 6.7.9p10).  Returns
+        the globals pending initialisation, in declaration order."""
         for fdef in self.program.functions:
             if fdef.body is None and fdef.name in self.functions:
                 continue
@@ -244,9 +247,6 @@ class Interpreter:
             ptr = self.model.allocate_function(name)
             self.func_ptrs[name] = ptr
             self.func_by_addr[ptr.address] = name
-        # Static storage: allocate all globals first (so initialisers may
-        # take addresses of later globals), then run initialisers in
-        # order; uninitialised static objects are zero (ISO 6.7.9p10).
         pending: list[tuple[GlobalDecl, Binding]] = []
         for gdecl in self.program.globals:
             decl = gdecl.decl
@@ -257,7 +257,10 @@ class Interpreter:
                               ptr.prov.ident if not ptr.prov.is_empty else 0)
             self.globals[decl.name] = binding
             pending.append((gdecl, binding))
-        for gdecl, binding in pending:
+        return pending
+
+    def _setup(self) -> None:
+        for gdecl, binding in self._register_static_storage():
             decl = gdecl.decl
             if decl.init is None:
                 value = self.zero_value(decl.ctype)

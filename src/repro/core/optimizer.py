@@ -21,6 +21,14 @@ the divergences the paper narrates.  It is intentionally not a general
 optimiser: each pass is the minimal sound-looking rewrite a real compiler
 performs, applied at the optimisation levels the paper associates with
 it.
+
+The passes are *bridged* over the Core IR rather than re-expressed on
+it: the pipeline is parse -> optimise (here, on the typed AST) ->
+elaborate (:mod:`repro.core.elaborate`), so the Core program is built
+from the already-optimised AST and both evaluators execute identical
+post-optimisation semantics.  Rewriting the passes as Core-to-Core
+transformations would buy nothing -- they model *source-level* compiler
+reasoning, which is exactly what the AST form expresses.
 """
 
 from __future__ import annotations

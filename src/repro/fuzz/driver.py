@@ -29,6 +29,7 @@ from repro.fuzz.oracle import (
     FuzzTarget,
     evaluate_program,
 )
+from repro.core.coreeval import set_default_evaluator
 from repro.fuzz.shrinker import shrink
 from repro.perf.cache import set_cache_enabled
 from repro.perf.pool import TaskFailure, parallel_map
@@ -65,7 +66,7 @@ def _evaluate_iteration(task):
     Top-level and argument-picklable so the worker pool can ship it;
     the serial path runs the identical function in-process.
     """
-    seed, index, targets, use_cache, budget = task
+    seed, index, targets, use_cache, budget, evaluator = task
     if targets is None:
         # The default target set is module state in every worker;
         # shipping None instead keeps the per-task pickle payload from
@@ -75,6 +76,12 @@ def _evaluate_iteration(task):
         # Worker processes apply the campaign's cache switch locally
         # (the parent's global switch does not travel under spawn).
         set_cache_enabled(use_cache)
+    if evaluator is not None:
+        # Same per-worker application as the cache switch: the oracle
+        # runs every target through Implementation.run internally, so
+        # the campaign's evaluator choice is installed as the worker's
+        # process default for the duration of the task.
+        set_default_evaluator(evaluator)
     program = program_for(seed, index)
     return program, evaluate_program(program, targets, budget=budget)
 
@@ -204,6 +211,7 @@ def run_fuzz(seed: int = 0,
              fault_plan=None,
              task_timeout: float | None = None,
              bus=None,
+             evaluator: str | None = None,
              ) -> FuzzReport:
     """Run the differential fuzzing loop.
 
@@ -238,9 +246,17 @@ def run_fuzz(seed: int = 0,
     finding group's minimized reproducer.  ``preserve_explanation``
     makes shrinking of findings additionally preserve the reference
     trace's explaining signature (see :func:`_preserves_group`).
+
+    ``evaluator`` (``ast``/``core``/``None`` = process default) selects
+    the execution strategy for the whole campaign: it travels inside
+    each task for the workers and is installed as the parent's default
+    for the shrinking/trace phases, so classification, minimisation,
+    and evidence capture all run under the same strategy.
     """
     if iterations is None and time_budget is None:
         iterations = DEFAULT_ITERATIONS
+    if evaluator is not None:
+        set_default_evaluator(evaluator)
     report = FuzzReport(seed=seed)
     groups: dict[tuple, DivergenceGroup] = {}
     started = time.monotonic()
@@ -283,7 +299,7 @@ def run_fuzz(seed: int = 0,
         # The pool's chunk grouping batches many iterations per task,
         # amortising submit/result IPC and executor startup -- chunked
         # per-round pools here used to cost more than they bought.
-        tasks = [(seed, i, task_targets, use_cache, budget)
+        tasks = [(seed, i, task_targets, use_cache, budget, evaluator)
                  for i in range(iterations)]
         for item in parallel_map(_evaluate_iteration, tasks, jobs=jobs,
                                  task_timeout=task_timeout,
@@ -299,7 +315,8 @@ def run_fuzz(seed: int = 0,
             chunk = 1 if jobs <= 1 else 4 * jobs
             if iterations is not None:
                 chunk = min(chunk, iterations - index)
-            tasks = [(seed, index + k, task_targets, use_cache, budget)
+            tasks = [(seed, index + k, task_targets, use_cache, budget,
+                      evaluator)
                      for k in range(chunk)]
             for item in parallel_map(_evaluate_iteration, tasks,
                                      jobs=jobs,

@@ -6,13 +6,15 @@ from dataclasses import dataclass, field
 
 from repro.capability.abstract import Architecture
 from repro.core.cast import Program
+from repro.core.coreeval import CoreEvaluator, default_evaluator
+from repro.core.coreir import CoreProgram
 from repro.core.interp import Interpreter
 from repro.ctypes.layout import TargetLayout
 from repro.errors import CSyntaxError, CTypeError, Outcome
 from repro.memory.allocator import AddressMap
 from repro.memory.model import MemoryModel, Mode
 from repro.memory.options import PAPER_CHOICES, SemanticsOptions
-from repro.perf.cache import compile_program
+from repro.perf.cache import compile_core, compile_program
 
 
 @dataclass(frozen=True)
@@ -64,13 +66,20 @@ class Implementation:
         """
         return compile_program(self, source, use_cache=use_cache)
 
-    def run_compiled(self, program: Program, main: str = "main", *,
-                     bus=None, budget=None, faults=None) -> Outcome:
+    def run_compiled(self, program: Program | CoreProgram,
+                     main: str = "main", *, bus=None, budget=None,
+                     faults=None, evaluator: str | None = None) -> Outcome:
         """The run stage: interpret a compiled program on a fresh model.
 
-        Compiled programs are immutable (frozen-dataclass AST), so one
-        cached compile can back any number of concurrent runs.  When a
-        :class:`~repro.robust.Budget` (or a test-only
+        Compiled programs are immutable (frozen-dataclass AST; Core op
+        lists are only ever read), so one cached compile can back any
+        number of concurrent runs.  ``program`` may be the typed AST
+        (from :meth:`compile`) or an elaborated
+        :class:`~repro.core.coreir.CoreProgram`; ``evaluator`` picks the
+        strategy (``None`` = the process default, ``core``) -- an AST
+        handed to the Core evaluator is elaborated on the fly, and a
+        CoreProgram handed to the AST walker runs its retained ``ast``.
+        When a :class:`~repro.robust.Budget` (or a test-only
         :class:`~repro.robust.FaultPlan`) is given, the run is governed:
         it always terminates with a structured outcome, never a hang or
         a raw ``RecursionError``/``MemoryError``.
@@ -80,25 +89,43 @@ class Implementation:
             from repro.robust.budget import BudgetMeter
             meter = BudgetMeter(budget, bus=bus, faults=faults)
         model = self.fresh_model(bus=bus, meter=meter)
+        if evaluator is None:
+            evaluator = default_evaluator()
+        if evaluator == "core":
+            if not isinstance(program, CoreProgram):
+                from repro.core.elaborate import elaborate_program
+                program = elaborate_program(program)
+            return CoreEvaluator(program, model).run(main)
+        if isinstance(program, CoreProgram):
+            program = program.ast
         return Interpreter(program, model).run(main)
 
     def run(self, source: str, main: str = "main", *, bus=None,
             use_cache: bool | None = None, budget=None,
-            faults=None) -> Outcome:
-        """Compile (parse + modelled optimisation) and run one program.
+            faults=None, evaluator: str | None = None) -> Outcome:
+        """Compile (parse + modelled optimisation + elaboration) and
+        run one program.
 
         ``bus`` attaches an :class:`~repro.obs.events.EventBus` for the
         run (``repro trace``, fuzz evidence capture); None = untraced.
-        ``budget``/``faults`` govern the run stage (see
-        :meth:`run_compiled`); the compile stage additionally honours a
-        fault plan's ``compile_delay`` and converts host recursion
-        blow-ups on pathological inputs into structured outcomes.
+        ``evaluator`` selects ``ast`` (the recursive walker) or
+        ``core`` (the iterative Core evaluator); ``None`` defers to the
+        process default.  ``budget``/``faults`` govern the run stage
+        (see :meth:`run_compiled`); the compile stage additionally
+        honours a fault plan's ``compile_delay`` and converts host
+        recursion blow-ups on pathological inputs into structured
+        outcomes.
         """
         if faults is not None and faults.compile_delay is not None:
             import time
             time.sleep(faults.compile_delay)
+        if evaluator is None:
+            evaluator = default_evaluator()
         try:
-            program = self.compile(source, use_cache=use_cache)
+            if evaluator == "core":
+                program = compile_core(self, source, use_cache=use_cache)
+            else:
+                program = self.compile(source, use_cache=use_cache)
         except (CSyntaxError, CTypeError) as exc:
             return Outcome.frontend_error(str(exc))
         except RecursionError:
@@ -109,4 +136,4 @@ class Implementation:
             return Outcome.resource_exhausted(
                 "python-memory", "host out of memory while compiling")
         return self.run_compiled(program, main, bus=bus, budget=budget,
-                                 faults=faults)
+                                 faults=faults, evaluator=evaluator)

@@ -73,16 +73,24 @@ class Event:
         kind: one of :data:`EVENT_KINDS`.
         data: JSON-serialisable payload; ``what`` holds a one-line
             human rendering used by the explainer.
+        core_op: the Core IR op id (``function:index``) that was
+            executing at emit time, or ``None`` when untraced or
+            running under the AST walker (whose events carry no op
+            context).  Distinct from the ``op`` *payload* key some
+            producers use for their own operation name.
     """
 
     seq: int
     step: int
     kind: str
     data: dict = field(default_factory=dict)
+    core_op: str | None = None
 
     def to_dict(self) -> dict:
         """Flat JSONL shape: reserved keys first, payload inline."""
         out: dict = {"seq": self.seq, "step": self.step, "kind": self.kind}
+        if self.core_op is not None:
+            out["core_op"] = self.core_op
         out.update(self.data)
         return out
 
@@ -96,14 +104,18 @@ class EventBus:
 
     Producers call :meth:`emit`; observers (:class:`TraceRecorder`,
     :class:`Metrics`) register callables with :meth:`subscribe`.  The
-    interpreter publishes its step counter by assigning :attr:`step`.
+    interpreter publishes its step counter by assigning :attr:`step`;
+    the Core evaluator additionally publishes the active op id by
+    assigning :attr:`op`, so every event produced while that op runs
+    (loads, stores, derivations, checks) is attributed to it.
     """
 
-    __slots__ = ("seq", "step", "_subscribers")
+    __slots__ = ("seq", "step", "op", "_subscribers")
 
     def __init__(self) -> None:
         self.seq = 0
         self.step = 0
+        self.op: str | None = None
         self._subscribers: list[Callable[[Event], None]] = []
 
     def subscribe(self, handler: Callable[[Event], None]) -> None:
@@ -112,11 +124,12 @@ class EventBus:
     def emit(self, kind: str, **data) -> Event:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
-        if "seq" in data or "step" in data:
+        if "seq" in data or "step" in data or "core_op" in data:
             # Would be silently shadowed by the reserved keys in to_dict.
-            raise ValueError("payload keys 'seq'/'step' are reserved")
+            raise ValueError(
+                "payload keys 'seq'/'step'/'core_op' are reserved")
         self.seq += 1
-        event = Event(self.seq, self.step, kind, data)
+        event = Event(self.seq, self.step, kind, data, self.op)
         for handler in self._subscribers:
             handler(event)
         return event

@@ -136,10 +136,18 @@ def causal_chain(events: Sequence[Event | dict],
     return chain
 
 
+def _op_suffix(event: dict) -> str:
+    """The Core op attribution, when the trace ran under the Core
+    evaluator (``core_op`` is the ``function:index`` id of the explicit
+    load/store/derivation op that produced the event)."""
+    core_op = event.get("core_op")
+    return f"  [{core_op}]" if core_op else ""
+
+
 def _line(event: dict) -> str:
     what = event.get("what", "")
     return f"  step {event.get('step', 0):>4}  {event.get('kind', ''):<16} " \
-           f"{what}"
+           f"{what}{_op_suffix(event)}"
 
 
 def _verdict_sentence(target: dict, chain: list[dict]) -> str:
@@ -198,7 +206,8 @@ def explain(events: Sequence[Event | dict],
         lines.append("empty trace: nothing to explain")
         return "\n".join(lines) + "\n"
     lines.append(f"target:  step {target.get('step', 0):>4}  "
-                 f"{target.get('kind', ''):<16} {target.get('what', '')}")
+                 f"{target.get('kind', ''):<16} {target.get('what', '')}"
+                 f"{_op_suffix(target)}")
     chain = causal_chain(dicts, target)
     shown = chain[-_MAX_CHAIN:]
     lines.append(f"causal chain ({len(chain)} events"

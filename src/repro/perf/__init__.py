@@ -24,6 +24,7 @@ from repro.perf.cache import (
     CompileCache,
     cache_enabled,
     clear_cache,
+    compile_core,
     compile_program,
     global_cache,
     set_cache_enabled,
@@ -36,6 +37,7 @@ __all__ = [
     "TaskFailure",
     "cache_enabled",
     "clear_cache",
+    "compile_core",
     "compile_program",
     "global_cache",
     "parallel_map",

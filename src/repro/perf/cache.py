@@ -11,16 +11,20 @@ twice (once per distinct opt level) instead of seven times, and the
 differential oracle compiles each generated program a handful of times
 instead of once per target.
 
-Two layers of reuse:
+Three layers of reuse:
 
 * a *parse* memo keyed by ``(source, arch)`` -- the AST before
   optimisation, shared across opt levels (AST nodes are frozen
   dataclasses, so sharing is safe);
 * the *compiled* cache keyed by the full five-axis tuple, holding the
   optimised program -- or the frontend error, so a program the frontend
-  rejects is rejected once, not once per implementation.
+  rejects is rejected once, not once per implementation;
+* the *core* cache, keyed by the same five-axis tuple, holding the
+  elaborated :class:`~repro.core.coreir.CoreProgram` (built from the
+  optimised AST) -- or the elaboration error, cached with the same
+  once-not-once-per-implementation policy as frontend rejections.
 
-Both are bounded LRU maps (entries evicted oldest-first), sized for a
+All are bounded LRU maps (entries evicted oldest-first), sized for a
 long fuzz campaign without unbounded growth.  The cache is per-process:
 worker processes forked by :mod:`repro.perf.pool` inherit the parent's
 entries at fork time and then populate their own copies.
@@ -32,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.cparser import parse_program
+from repro.core.elaborate import elaborate_program
 from repro.core.optimizer import optimize_program
 from repro.errors import CSyntaxError, CTypeError
 
@@ -68,6 +73,9 @@ class CompileCache:
         # key -> ("ok", Program) | ("error", CSyntaxError | CTypeError)
         self._compiled: OrderedDict[tuple, tuple[str, object]] = OrderedDict()
         self._parsed: OrderedDict[tuple, object] = OrderedDict()
+        # key -> ("ok", CoreProgram) | ("error", ...): elaborated Core,
+        # same five-axis identity as the compiled layer.
+        self._core: OrderedDict[tuple, tuple[str, object]] = OrderedDict()
 
     @staticmethod
     def key_for(impl, source: str) -> tuple:
@@ -83,6 +91,7 @@ class CompileCache:
     def clear(self) -> None:
         self._compiled.clear()
         self._parsed.clear()
+        self._core.clear()
         self.stats = CacheStats()
 
     def compile(self, impl, source: str):
@@ -119,6 +128,33 @@ class CompileCache:
         while len(self._parsed) > self.maxsize:
             self._parsed.popitem(last=False)
         return program
+
+    def core(self, impl, source: str):
+        """Compile + elaborate ``source`` for ``impl``, reusing any
+        cached :class:`~repro.core.coreir.CoreProgram`.  Frontend *and*
+        elaboration rejections are cached under the same five-axis key,
+        so an elaboration-rejected program is rejected once, not once
+        per implementation sharing the key."""
+        key = self.key_for(impl, source)
+        entry = self._core.get(key)
+        if entry is not None:
+            self._core.move_to_end(key)
+            tag, payload = entry
+            if tag == "error":
+                raise payload
+            return payload
+        try:
+            program = self.compile(impl, source)
+            core = elaborate_program(program)
+        except (CSyntaxError, CTypeError) as exc:
+            self._core[key] = ("error", exc)
+            while len(self._core) > self.maxsize:
+                self._core.popitem(last=False)
+            raise
+        self._core[key] = ("ok", core)
+        while len(self._core) > self.maxsize:
+            self._core.popitem(last=False)
+        return core
 
     def _store(self, key: tuple, entry: tuple[str, object]) -> None:
         self._compiled[key] = entry
@@ -159,3 +195,16 @@ def compile_program(impl, source: str, use_cache: bool | None = None):
         program = parse_program(source, impl.layout)
         return optimize_program(program, impl.layout, impl.opt_level)
     return _GLOBAL_CACHE.compile(impl, source)
+
+
+def compile_core(impl, source: str, use_cache: bool | None = None):
+    """Compile + elaborate ``source`` for ``impl`` into a
+    :class:`~repro.core.coreir.CoreProgram`; ``use_cache=None`` defers
+    to the process-wide switch."""
+    if use_cache is None:
+        use_cache = _ENABLED
+    if not use_cache:
+        program = parse_program(source, impl.layout)
+        program = optimize_program(program, impl.layout, impl.opt_level)
+        return elaborate_program(program)
+    return _GLOBAL_CACHE.core(impl, source)

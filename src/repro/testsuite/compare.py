@@ -96,14 +96,14 @@ def _run_case(task) -> tuple[Outcome, Metrics | None]:
     Top-level so the worker pool can pickle it; the serial path calls
     it directly with the same tasks.
     """
-    impl, case, with_metrics, use_cache, budget = task
+    impl, case, with_metrics, use_cache, budget, evaluator = task
     bus = metrics = None
     if with_metrics:
         from repro.obs import EventBus
         bus = EventBus()
         metrics = Metrics().attach(bus).start()
     outcome = impl.run(case.source, bus=bus, use_cache=use_cache,
-                       budget=budget)
+                       budget=budget, evaluator=evaluator)
     if metrics is not None:
         metrics.finish(steps=bus.step)
     return outcome, metrics
@@ -146,18 +146,23 @@ def run_suite(impl: Implementation,
               budget=None,
               fault_plan=None,
               task_timeout: float | None = None,
-              bus=None) -> SuiteReport:
+              bus=None,
+              evaluator: str | None = None) -> SuiteReport:
     """Run one implementation over ``cases`` (``None`` = the full
     suite; an explicitly empty selection yields an empty report).
 
     ``budget`` governs each case run (see :mod:`repro.robust`);
     ``fault_plan``/``task_timeout``/``bus`` drive the hardened pool
     (``fault_plan`` is test-only and ignored on the serial path).
+    ``evaluator`` selects the execution strategy for every case run
+    (``ast``/``core``/``None`` = process default); it travels inside
+    each task so worker processes apply it regardless of their own
+    default.
     """
     if cases is None:
         cases = all_cases()
     cases = tuple(cases)
-    tasks = [(impl, case, with_metrics, use_cache, budget)
+    tasks = [(impl, case, with_metrics, use_cache, budget, evaluator)
              for case in cases]
     runs = parallel_map(_run_case, tasks, jobs=jobs,
                         task_timeout=_default_task_timeout(budget,
@@ -175,7 +180,8 @@ def compare_implementations(
         budget=None,
         fault_plan=None,
         task_timeout: float | None = None,
-        bus=None) -> list[SuiteReport]:
+        bus=None,
+        evaluator: str | None = None) -> list[SuiteReport]:
     """The S5 compliance comparison over every implementation.
 
     The (implementation, case) grid is flattened into one task list so
@@ -185,7 +191,7 @@ def compare_implementations(
     if cases is None:
         cases = all_cases()
     cases = tuple(cases)
-    tasks = [(impl, case, with_metrics, use_cache, budget)
+    tasks = [(impl, case, with_metrics, use_cache, budget, evaluator)
              for impl in impls for case in cases]
     runs = parallel_map(_run_case, tasks, jobs=jobs,
                         task_timeout=_default_task_timeout(budget,

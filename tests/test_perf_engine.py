@@ -88,6 +88,53 @@ class TestCompileCache:
             cache.compile(CERBERUS, BAD_SOURCE)
         assert cache.stats.hits == 1
 
+    def test_core_layer_shares_elaborated_program(self):
+        cache = CompileCache()
+        first = cache.core(CERBERUS, SOURCE)
+        second = cache.core(CLANG_MORELLO_O0, SOURCE)
+        assert first is second
+
+    def test_elaboration_error_cached_once_across_impls(self, monkeypatch):
+        # A program the elaborator rejects is rejected once per compile
+        # key, not once per implementation: cerberus and
+        # clang-morello-O0 share the key, so the second lookup must
+        # re-raise the cached error without re-elaborating.
+        import repro.perf.cache as cache_mod
+        from repro.core import ElaborationError
+        calls = []
+
+        def failing(program):
+            calls.append(program)
+            raise ElaborationError("synthetic elaboration failure")
+
+        monkeypatch.setattr(cache_mod, "elaborate_program", failing)
+        cache = CompileCache()
+        with pytest.raises(ElaborationError):
+            cache.core(CERBERUS, SOURCE)
+        with pytest.raises(ElaborationError):
+            cache.core(CLANG_MORELLO_O0, SOURCE)
+        assert len(calls) == 1
+
+    def test_elaboration_error_is_a_frontend_outcome(self, monkeypatch):
+        # Through Implementation.run the cached elaboration rejection
+        # surfaces as the same structured frontend_error outcome as a
+        # parse failure.
+        import repro.perf.cache as cache_mod
+        from repro.core import ElaborationError
+        from repro.errors import OutcomeKind
+
+        def failing(program):
+            raise ElaborationError("synthetic elaboration failure")
+
+        monkeypatch.setattr(cache_mod, "elaborate_program", failing)
+        cache_mod.clear_cache()
+        try:
+            outcome = CERBERUS.run(SOURCE, evaluator="core")
+            assert outcome.kind is OutcomeKind.ERROR
+            assert "synthetic elaboration failure" in outcome.detail
+        finally:
+            cache_mod.clear_cache()
+
     def test_eviction_is_bounded(self):
         cache = CompileCache(maxsize=2)
         for status in range(4):
