@@ -1,20 +1,22 @@
 #!/usr/bin/env python
 """The evaluator-differential gate (CI job ``evaluator-differential``).
 
-The repository carries two complete execution strategies for the same
-semantics: the recursive AST walker (:mod:`repro.core.interp`) and the
-iterative Core-IR evaluator (:mod:`repro.core.coreeval`), elaborated by
-:mod:`repro.core.elaborate`.  The Core evaluator is the process
-default; the AST walker is the oracle it is judged against.  This gate
-is what makes that arrangement safe: it renders
+The repository carries three complete execution strategies for the
+same semantics: the recursive AST walker (:mod:`repro.core.interp`),
+the iterative Core-IR evaluator (:mod:`repro.core.coreeval`), and the
+direct-threaded compiled backend (:mod:`repro.core.compile`, with
+superinstruction fusion and constant folding).  The compiled backend
+is the process default; the walker and the Core evaluator are the
+oracles it is judged against.  This gate is what makes that
+arrangement safe: it renders
 
 * the full S5 compliance report (every implementation x every suite
   case), and
 * a fixed-seed fuzz campaign report (default 500 generated programs,
   every divergence classified and minimized),
 
-under *both* evaluators, serially and with a worker pool, and demands
-the rendered reports be **byte-identical** pairwise.  Outcome kinds,
+under *all three* evaluators, serially and with a worker pool, and
+demands the rendered reports be **byte-identical** pairwise.  Outcome kinds,
 exit codes, stdout, UB catalogue entries, step-metered budget cutoffs,
 divergence grouping, and shrinker results all feed those renderings, so
 a single differing byte fails the gate.
@@ -39,7 +41,7 @@ from repro.impls import ALL_IMPLEMENTATIONS
 from repro.reporting.tables import render_compliance, render_fuzz_summary
 from repro.testsuite.compare import compare_implementations
 
-EVALUATORS = ("ast", "core")
+EVALUATORS = ("ast", "core", "compiled")
 
 
 def suite_rendering(evaluator: str, jobs: int) -> str:
@@ -58,23 +60,31 @@ def fuzz_rendering(evaluator: str, jobs: int, seed: int,
 
 
 def check_pair(label: str, by_evaluator: dict[str, str]) -> bool:
-    ast_text, core_text = (by_evaluator[e] for e in EVALUATORS)
-    if ast_text == core_text:
-        print(f"  {label}: byte-identical "
-              f"({len(core_text)} bytes)")
-        return True
-    print(f"  {label}: REPORTS DIFFER")
-    sys.stdout.writelines(difflib.unified_diff(
-        ast_text.splitlines(keepends=True),
-        core_text.splitlines(keepends=True),
-        fromfile=f"{label} [ast]", tofile=f"{label} [core]"))
-    return False
+    """Pairwise byte-identity against the AST-walker baseline."""
+    baseline = by_evaluator[EVALUATORS[0]]
+    ok = True
+    for other in EVALUATORS[1:]:
+        text = by_evaluator[other]
+        if text == baseline:
+            continue
+        ok = False
+        print(f"  {label}: REPORTS DIFFER "
+              f"({EVALUATORS[0]} vs {other})")
+        sys.stdout.writelines(difflib.unified_diff(
+            baseline.splitlines(keepends=True),
+            text.splitlines(keepends=True),
+            fromfile=f"{label} [{EVALUATORS[0]}]",
+            tofile=f"{label} [{other}]"))
+    if ok:
+        print(f"  {label}: byte-identical across "
+              f"{'/'.join(EVALUATORS)} ({len(baseline)} bytes)")
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Require byte-identical suite and fuzz reports from "
-                    "the AST and Core evaluators")
+                    "the AST, Core, and compiled evaluators")
     parser.add_argument("--seed", type=int, default=0,
                         help="fuzz campaign seed (default: 0)")
     parser.add_argument("--fuzz-iterations", type=int, default=500,

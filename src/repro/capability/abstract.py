@@ -17,6 +17,7 @@ operation that would forge authority instead clears the tag (S2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from repro.capability.concentrate import (
     CompressedBounds,
@@ -53,16 +54,18 @@ class Architecture:
                 "not a whole number of bytes")
 
     # -- sizes ----------------------------------------------------------
+    # Sizes are fixed per (frozen) architecture and consulted on every
+    # load, store, and layout query, so they are cached per instance.
 
-    @property
+    @cached_property
     def address_width(self) -> int:
         return self.compression.address_width
 
-    @property
+    @cached_property
     def address_mask(self) -> int:
         return self.compression.address_mask
 
-    @property
+    @cached_property
     def capability_size(self) -> int:
         """Size in bytes of the in-memory capability representation."""
         p = self.compression
@@ -70,7 +73,7 @@ class Architecture:
                 + self.otype_width + len(self.perm_order))
         return bits // 8
 
-    @property
+    @cached_property
     def ptraddr_size(self) -> int:
         """Size in bytes of the ``ptraddr_t`` integer type (S3.10)."""
         return self.address_width // 8
@@ -78,19 +81,30 @@ class Architecture:
     # -- construction ---------------------------------------------------
 
     def root_permissions(self) -> PermissionSet:
-        return PermissionSet.from_iterable(self.perm_order)
+        memo = self.__dict__.get("_root_perms")
+        if memo is None:
+            memo = PermissionSet.from_iterable(self.perm_order)
+            self.__dict__["_root_perms"] = memo
+        return memo
 
     def root_capability(self) -> "Capability":
-        """The maximal ("almighty") capability covering all of memory."""
-        bounds = CompressedBounds.maximal(self.compression)
-        return Capability(
-            arch=self,
-            address=0,
-            bounds_fields=bounds,
-            perms=self.root_permissions(),
-            otype=OType.unsealed(),
-            tag=True,
-        )
+        """The maximal ("almighty") capability covering all of memory.
+
+        Capabilities are immutable, so the one root value is shared: the
+        allocator derives every allocation's capability from it.
+        """
+        memo = self.__dict__.get("_root_cap")
+        if memo is None:
+            memo = Capability(
+                arch=self,
+                address=0,
+                bounds_fields=CompressedBounds.maximal(self.compression),
+                perms=self.root_permissions(),
+                otype=OType.unsealed(),
+                tag=True,
+            )
+            self.__dict__["_root_cap"] = memo
+        return memo
 
     def null_capability(self, address: int = 0) -> "Capability":
         """The NULL-derived capability: untagged, permissionless.
@@ -148,9 +162,16 @@ class Architecture:
         pos += 1
         otype = OType((word >> pos) & ((1 << self.otype_width) - 1))
         pos += self.otype_width
-        perms = PermissionSet.from_iterable(
-            perm for i, perm in enumerate(self.perm_order)
-            if (word >> (pos + i)) & 1)
+        perm_bits = word >> pos
+        # Permission sets are immutable and drawn from a small universe,
+        # so decode shares one PermissionSet per distinct bit pattern.
+        memo = self.__dict__.setdefault("_permset_memo", {})
+        perms = memo.get(perm_bits)
+        if perms is None:
+            perms = PermissionSet.from_iterable(
+                perm for i, perm in enumerate(self.perm_order)
+                if (perm_bits >> i) & 1)
+            memo[perm_bits] = perms
         return Capability(
             arch=self,
             address=address,
@@ -201,7 +222,17 @@ class Capability:
     # -- derived views -----------------------------------------------------
 
     def decoded(self) -> DecodedBounds:
-        return self.bounds_fields.decode(self.address)
+        """Decode the bounds relative to the current address.
+
+        Both inputs are frozen, so the result is memoised per instance;
+        every clone (``with_address`` etc.) builds a fresh instance and
+        therefore re-derives its own bounds, exactly as hardware does.
+        """
+        memo = self.__dict__.get("_decoded_memo")
+        if memo is None:
+            memo = self.bounds_fields.decode(self.address)
+            self.__dict__["_decoded_memo"] = memo
+        return memo
 
     @property
     def base(self) -> int:
@@ -255,7 +286,8 @@ class Capability:
         representable = self.bounds_fields.is_representable(
             self.address, new_address)
         tag = self.tag and representable and not self.is_sealed
-        return replace(self, address=new_address, tag=tag)
+        return Capability(self.arch, new_address, self.bounds_fields,
+                          self.perms, self.otype, tag, self.ghost)
 
     def with_address_ghost(self, new_address: int) -> "Capability":
         """Abstract-machine semantics of S3.3 option (c).
@@ -275,7 +307,8 @@ class Capability:
         if not representable:
             ghost = ghost.with_tag_unspecified().with_bounds_unspecified()
         tag = self.tag and not self.is_sealed
-        return replace(self, address=new_address, tag=tag, ghost=ghost)
+        return Capability(self.arch, new_address, self.bounds_fields,
+                          self.perms, self.otype, tag, ghost)
 
     # -- monotonic narrowing ------------------------------------------------
 
@@ -294,7 +327,8 @@ class Capability:
                      if length > 0 else
                      self.decoded().contains(base, 0) or base == self.top)
         tag = self.tag and monotonic and not self.is_sealed
-        cap = replace(self, bounds_fields=fields_, address=base, tag=tag)
+        cap = Capability(self.arch, base, fields_, self.perms,
+                         self.otype, tag, self.ghost)
         return cap, exact
 
     def without_perms(self, *perms: Permission) -> "Capability":

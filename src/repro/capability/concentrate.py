@@ -31,6 +31,7 @@ The three operations the CHERI C semantics depends on are:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -58,25 +59,28 @@ class CompressionParams:
         if self.address_width < self.mantissa_width:
             raise ValueError("address width must exceed mantissa width")
 
-    @property
+    # Derived widths are cached per instance: params are frozen and the
+    # memory model consults these on every capability decode/encode.
+
+    @cached_property
     def top_width(self) -> int:
         """Stored width of the T field (two top bits are inferred)."""
         return self.mantissa_width - 2
 
-    @property
+    @cached_property
     def exponent_width(self) -> int:
         return 2 * self.exponent_low_bits
 
-    @property
+    @cached_property
     def reset_exponent(self) -> int:
         """The exponent of the maximal (whole-address-space) capability."""
         return self.address_width - self.mantissa_width + 2
 
-    @property
+    @cached_property
     def address_mask(self) -> int:
         return (1 << self.address_width) - 1
 
-    @property
+    @cached_property
     def max_exact_length(self) -> int:
         """Largest length representable byte-exactly at any alignment.
 
@@ -128,7 +132,15 @@ class CompressedBounds:
     # ------------------------------------------------------------------
 
     def _fields(self) -> tuple[int, int, int]:
-        """Split stored fields into (E, B, T_full), with T_full MW bits."""
+        """Split stored fields into (E, B, T_full), with T_full MW bits.
+
+        The split depends only on the (frozen) stored fields, so it is
+        computed once and memoised on the instance -- ``decode`` and the
+        representability checks call this on every bounds check.
+        """
+        memo = self.__dict__.get("_fields_memo")
+        if memo is not None:
+            return memo
         p = self.params
         mw, tw, eb = p.mantissa_width, p.top_width, p.exponent_low_bits
         emask = (1 << eb) - 1
@@ -148,7 +160,9 @@ class CompressedBounds:
         length_carry = 1 if t_val < (b_val & ((1 << tw) - 1)) else 0
         t_top2 = ((b_val >> tw) + length_carry + length_msb) & 0x3
         t_full = (t_top2 << tw) | t_val
-        return exponent, b_val, t_full
+        memo = (exponent, b_val, t_full)
+        self.__dict__["_fields_memo"] = memo
+        return memo
 
     def decode(self, address: int) -> DecodedBounds:
         """Reconstruct (base, top) relative to ``address``.
@@ -168,18 +182,24 @@ class CompressedBounds:
         a_top = a >> (exponent + mw)
         boundary = (b_val - (1 << (mw - 2))) & mw_mask  # R
 
-        def correction(x: int) -> int:
-            a_in_lower = a_mid < boundary
-            x_in_lower = x < boundary
-            if a_in_lower == x_in_lower:
-                return 0
-            return 1 if x_in_lower else -1
+        # Correction terms (inlined -- this is the hottest arithmetic in
+        # the memory model): compare each field against the
+        # representable-region boundary R relative to the address.
+        a_in_lower = a_mid < boundary
+        if (b_val < boundary) == a_in_lower:
+            c_b = 0
+        else:
+            c_b = 1 if b_val < boundary else -1
+        t_mid = t_full & mw_mask
+        if (t_mid < boundary) == a_in_lower:
+            c_t = 0
+        else:
+            c_t = 1 if t_mid < boundary else -1
 
         block = exponent + mw
-        base = (((a_top + correction(b_val)) << block) | (b_val << exponent))
+        base = ((a_top + c_b) << block) | (b_val << exponent)
         base &= p.address_mask
-        top = (((a_top + correction(t_full & mw_mask)) << block)
-               | (t_full << exponent))
+        top = ((a_top + c_t) << block) | (t_full << exponent)
         top &= (1 << (p.address_width + 1)) - 1
 
         # Published fixup: when base and top land more than an address
@@ -253,9 +273,17 @@ class CompressedBounds:
 
     @classmethod
     def maximal(cls, params: CompressionParams) -> "CompressedBounds":
-        """The bounds of the "almighty" capability covering all memory."""
+        """The bounds of the "almighty" capability covering all memory.
+
+        One immutable value per format; cached on the params instance
+        (root and NULL capability construction both start here).
+        """
+        memo = params.__dict__.get("_maximal_memo")
+        if memo is not None:
+            return memo
         bounds, exact = cls.encode(params, 0, 1 << params.address_width)
         assert exact, "maximal capability must be exactly encodable"
+        params.__dict__["_maximal_memo"] = bounds
         return bounds
 
     # ------------------------------------------------------------------

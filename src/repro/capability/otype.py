@@ -34,7 +34,7 @@ class OType:
 
     @classmethod
     def unsealed(cls) -> "OType":
-        return cls(cls.UNSEALED_VALUE)
+        return _UNSEALED
 
     @classmethod
     def sentry(cls) -> "OType":
@@ -73,3 +73,7 @@ class OType:
         if self.is_reserved:
             return f"reserved({self.value})"
         return f"otype({self.value})"
+
+
+#: The shared unsealed value (immutable; by far the most common otype).
+_UNSEALED = OType(OType.UNSEALED_VALUE)

@@ -56,6 +56,10 @@ class Permission(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    # Members are singletons; identity hashing keeps frozenset
+    # membership checks (every access check) at C speed.
+    __hash__ = object.__hash__
+
 
 BASE_PERMISSIONS: frozenset[Permission] = frozenset({
     Permission.GLOBAL,

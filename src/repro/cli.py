@@ -25,9 +25,10 @@ cache (see docs/PERFORMANCE.md).  ``--max-steps/--max-allocations/
 --max-alloc-bytes/--deadline`` put a resource budget on every run, so
 even a nonterminating program ends with a structured
 ``resource_exhausted`` outcome (see docs/ROBUSTNESS.md).
-``--evaluator {ast,core}`` selects the execution strategy (default:
-``core``, the iterative Core-IR evaluator; see docs/SEMANTICS.md S11)
-and ``--dump-core`` prints the elaborated listing instead of running.
+``--evaluator {ast,core,compiled}`` selects the execution strategy
+(default: ``compiled``, the direct-threaded closure backend; see
+docs/PERFORMANCE.md) and ``--dump-core`` prints the elaborated listing
+-- with fold/fuse annotations under ``compiled`` -- instead of running.
 """
 
 from __future__ import annotations
@@ -46,11 +47,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the shared compilation cache "
                              "(each run re-parses and re-optimises)")
-    parser.add_argument("--evaluator", choices=("ast", "core"),
+    parser.add_argument("--evaluator",
+                        choices=("ast", "core", "compiled"),
                         default=None,
                         help="execution strategy: the recursive AST "
-                             "walker or the iterative Core-IR evaluator "
-                             "(default: core; both are held "
+                             "walker, the iterative Core-IR evaluator, "
+                             "or the direct-threaded compiled backend "
+                             "(default: compiled; all three are held "
                              "byte-identical by the differential gate)")
     budgets = parser.add_argument_group(
         "resource budgets",
@@ -265,11 +268,13 @@ def trace_main(argv: list[str]) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print run metrics (event counts, UB "
                              "verdicts, allocator totals)")
-    parser.add_argument("--evaluator", choices=("ast", "core"),
+    parser.add_argument("--evaluator",
+                        choices=("ast", "core", "compiled"),
                         default=None,
-                        help="execution strategy (default: core; under "
-                             "core every event carries the Core op id "
-                             "that produced it)")
+                        help="execution strategy (default: compiled; "
+                             "traced compiled runs dispatch through the "
+                             "Core loop so every event carries the Core "
+                             "op id that produced it)")
     args = parser.parse_args(argv)
     evaluator = _apply_evaluator_flag(args)
 
@@ -383,16 +388,26 @@ def _run_main(argv: list[str]) -> int:
         source = handle.read()
 
     if args.dump_core:
-        from repro.core.coreir import render_core
+        from repro.core.coreeval import default_evaluator
         from repro.errors import CSyntaxError, CTypeError
-        from repro.perf import compile_core
         impl = by_name(args.impl)
         try:
-            core = compile_core(impl, source, use_cache=use_cache)
+            if (evaluator or default_evaluator()) == "compiled":
+                # Under the compiled evaluator the listing additionally
+                # annotates folded regions and fused pairs.
+                from repro.core.compile import render_compiled
+                from repro.perf import compile_threaded
+                compiled = compile_threaded(impl, source,
+                                            use_cache=use_cache)
+                print(render_compiled(compiled))
+            else:
+                from repro.core.coreir import render_core
+                from repro.perf import compile_core
+                core = compile_core(impl, source, use_cache=use_cache)
+                print(render_core(core))
         except (CSyntaxError, CTypeError) as exc:
             print(f"[{impl.name}] rejected: {exc}", file=sys.stderr)
             return 1
-        print(render_core(core))
         return 0
 
     budget = _budget_from(args)

@@ -43,13 +43,16 @@ from repro.memory.values import (
 )
 from repro.ctypes.types import INT
 
-#: The process-wide default evaluation strategy.  ``core`` -- the
-#: differential gate (CI job ``evaluator-differential``) holds the two
-#: evaluators byte-identical over the full suite and a 500-program fuzz
-#: batch, which is what allowed flipping the default off the AST walker.
-_DEFAULT_EVALUATOR = "core"
+#: The process-wide default evaluation strategy.  ``compiled`` -- the
+#: direct-threaded closure backend (:mod:`repro.core.compile`).  The
+#: three-way differential gate (CI job ``evaluator-differential``)
+#: holds all three evaluators byte-identical over the full suite and a
+#: 500-program fuzz batch, which is what allowed flipping the default
+#: first off the AST walker and now onto the compiled backend; ``ast``
+#: and ``core`` stay available as differential oracles.
+_DEFAULT_EVALUATOR = "compiled"
 
-EVALUATORS = ("ast", "core")
+EVALUATORS = ("ast", "core", "compiled")
 
 
 def set_default_evaluator(name: str) -> None:

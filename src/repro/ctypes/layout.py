@@ -36,10 +36,30 @@ class FieldLayout:
     offset: int
 
 
+#: One layout per architecture: layouts are pure functions of the
+#: (frozen) architecture and memoise struct layout per type node, so
+#: every call site shares a single instance instead of rebuilding the
+#: sizing tables per run.
+_INSTANCES: dict[str, "TargetLayout"] = {}
+
+#: Bound on the per-layout struct-layout memo before it is dropped and
+#: rebuilt (a long fuzz campaign generates fresh type nodes).
+_MEMO_LIMIT = 4096
+
+
 class TargetLayout:
     """Sizing and layout rules for one architecture."""
 
+    def __new__(cls, arch: Architecture) -> "TargetLayout":
+        inst = _INSTANCES.get(arch.name)
+        if inst is None or inst.arch is not arch:
+            inst = super().__new__(cls)
+            _INSTANCES[arch.name] = inst
+        return inst
+
     def __init__(self, arch: Architecture) -> None:
+        if getattr(self, "arch", None) is arch:
+            return      # shared per-arch instance, already initialised
         self.arch = arch
         bits64 = arch.address_width == 64
         self._int_sizes: dict[IKind, int] = {
@@ -56,6 +76,19 @@ class TargetLayout:
             IKind.INTPTR: arch.capability_size,
             IKind.UINTPTR: arch.capability_size,
         }
+        # Precomputed per-kind range tables: every integer conversion
+        # consults these.
+        self._widths = {k: (arch.address_width
+                            if k.is_capability_carrying else s * 8)
+                        for k, s in self._int_sizes.items()}
+        self._mins = {k: (-(1 << (w - 1)) if k.is_signed else 0)
+                      for k, w in self._widths.items()}
+        self._maxs = {k: ((1 << (w - 1)) - 1 if k.is_signed
+                          else (1 << w) - 1)
+                      for k, w in self._widths.items()}
+        # id-keyed struct-layout memo; each entry retains the key object
+        # so a recycled id can never alias a different type node.
+        self._struct_memo: dict[int, tuple] = {}
 
     # -- integer properties ------------------------------------------------
 
@@ -70,30 +103,23 @@ class TargetLayout:
         metadata half of the representation does not contribute to the
         integer value (S3.3, S4.3 ``integer_value``).
         """
-        if kind.is_capability_carrying:
-            return self.arch.address_width
-        return self._int_sizes[kind] * 8
+        return self._widths[kind]
 
     def int_min(self, kind: IKind) -> int:
-        if not kind.is_signed:
-            return 0
-        return -(1 << (self.value_width(kind) - 1))
+        return self._mins[kind]
 
     def int_max(self, kind: IKind) -> int:
-        width = self.value_width(kind)
-        if kind.is_signed:
-            return (1 << (width - 1)) - 1
-        return (1 << width) - 1
+        return self._maxs[kind]
 
     def in_range(self, kind: IKind, value: int) -> bool:
-        return self.int_min(kind) <= value <= self.int_max(kind)
+        return self._mins[kind] <= value <= self._maxs[kind]
 
     def wrap(self, kind: IKind, value: int) -> int:
         """Reduce ``value`` modulo the type's range (conversion to an
         unsigned type, or the implementation-defined signed conversion)."""
-        width = self.value_width(kind)
+        width = self._widths[kind]
         value &= (1 << width) - 1
-        if kind.is_signed and value >> (width - 1):
+        if value >> (width - 1) and kind.is_signed:
             value -= 1 << width
         return value
 
@@ -140,20 +166,30 @@ class TargetLayout:
     # -- struct / union layout ---------------------------------------------
 
     def struct_fields(self, ctype: StructT) -> list[FieldLayout]:
-        """Member offsets using the standard C layout algorithm."""
+        """Member offsets using the standard C layout algorithm.
+
+        The layout of a (frozen) type node never changes, so results are
+        memoised per node; callers must treat the list as read-only.
+        """
+        memo = self._struct_memo.get(id(ctype))
+        if memo is not None and memo[0] is ctype:
+            return memo[1]
         if ctype.fields is None:
             raise CTypeError(f"layout of incomplete {ctype}")
         out: list[FieldLayout] = []
         if isinstance(ctype, UnionT):
             for f in ctype.fields:
                 out.append(FieldLayout(f.name, f.ctype, 0))
-            return out
-        offset = 0
-        for f in ctype.fields:
-            align = self.alignof(f.ctype)
-            offset = _align_up(offset, align)
-            out.append(FieldLayout(f.name, f.ctype, offset))
-            offset += self.sizeof(f.ctype)
+        else:
+            offset = 0
+            for f in ctype.fields:
+                align = self.alignof(f.ctype)
+                offset = _align_up(offset, align)
+                out.append(FieldLayout(f.name, f.ctype, offset))
+                offset += self.sizeof(f.ctype)
+        if len(self._struct_memo) >= _MEMO_LIMIT:
+            self._struct_memo.clear()
+        self._struct_memo[id(ctype)] = (ctype, out)
         return out
 
     def struct_size(self, ctype: StructT) -> int:

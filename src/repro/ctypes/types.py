@@ -47,11 +47,18 @@ class IKind(enum.Enum):
     @property
     def is_capability_carrying(self) -> bool:
         """True for the types represented by a full capability (S3.3)."""
-        return self in (IKind.INTPTR, IKind.UINTPTR)
+        return self in _CAPABILITY_KINDS
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash -- and C-speed.  Layout tables, RANK, and signed
+    # checks key dicts/sets by IKind on every integer operation.
+    __hash__ = object.__hash__
+
+
+_CAPABILITY_KINDS = frozenset({IKind.INTPTR, IKind.UINTPTR})
 
 _SIGNED_KINDS = frozenset({
     IKind.CHAR,   # char is signed on our targets (AArch64 is unsigned in

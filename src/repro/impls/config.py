@@ -14,7 +14,9 @@ from repro.errors import CSyntaxError, CTypeError, Outcome
 from repro.memory.allocator import AddressMap
 from repro.memory.model import MemoryModel, Mode
 from repro.memory.options import PAPER_CHOICES, SemanticsOptions
-from repro.perf.cache import compile_core, compile_program
+from repro.perf.cache import (
+    compile_core, compile_program, compile_threaded,
+)
 
 
 @dataclass(frozen=True)
@@ -74,16 +76,19 @@ class Implementation:
         Compiled programs are immutable (frozen-dataclass AST; Core op
         lists are only ever read), so one cached compile can back any
         number of concurrent runs.  ``program`` may be the typed AST
-        (from :meth:`compile`) or an elaborated
-        :class:`~repro.core.coreir.CoreProgram`; ``evaluator`` picks the
-        strategy (``None`` = the process default, ``core``) -- an AST
-        handed to the Core evaluator is elaborated on the fly, and a
-        CoreProgram handed to the AST walker runs its retained ``ast``.
-        When a :class:`~repro.robust.Budget` (or a test-only
+        (from :meth:`compile`), an elaborated
+        :class:`~repro.core.coreir.CoreProgram`, or a direct-threaded
+        :class:`~repro.core.compile.CompiledProgram`; ``evaluator``
+        picks the strategy (``None`` = the process default,
+        ``compiled``) -- a representation short of the chosen
+        evaluator's is elaborated/threaded on the fly, and a Core or
+        compiled program handed to the AST walker runs its retained
+        ``ast``.  When a :class:`~repro.robust.Budget` (or a test-only
         :class:`~repro.robust.FaultPlan`) is given, the run is governed:
         it always terminates with a structured outcome, never a hang or
         a raw ``RecursionError``/``MemoryError``.
         """
+        from repro.core.compile import CompiledEvaluator, CompiledProgram
         meter = None
         if budget is not None or faults is not None:
             from repro.robust.budget import BudgetMeter
@@ -91,12 +96,22 @@ class Implementation:
         model = self.fresh_model(bus=bus, meter=meter)
         if evaluator is None:
             evaluator = default_evaluator()
+        if evaluator == "compiled":
+            if not isinstance(program, CompiledProgram):
+                from repro.core.compile import compile_core as thread_core
+                if not isinstance(program, CoreProgram):
+                    from repro.core.elaborate import elaborate_program
+                    program = elaborate_program(program)
+                program = thread_core(program, self)
+            return CompiledEvaluator(program, model).run(main)
         if evaluator == "core":
-            if not isinstance(program, CoreProgram):
+            if isinstance(program, CompiledProgram):
+                program = program.core
+            elif not isinstance(program, CoreProgram):
                 from repro.core.elaborate import elaborate_program
                 program = elaborate_program(program)
             return CoreEvaluator(program, model).run(main)
-        if isinstance(program, CoreProgram):
+        if isinstance(program, (CoreProgram, CompiledProgram)):
             program = program.ast
         return Interpreter(program, model).run(main)
 
@@ -108,8 +123,9 @@ class Implementation:
 
         ``bus`` attaches an :class:`~repro.obs.events.EventBus` for the
         run (``repro trace``, fuzz evidence capture); None = untraced.
-        ``evaluator`` selects ``ast`` (the recursive walker) or
-        ``core`` (the iterative Core evaluator); ``None`` defers to the
+        ``evaluator`` selects ``ast`` (the recursive walker), ``core``
+        (the iterative Core evaluator), or ``compiled`` (the
+        direct-threaded closure backend); ``None`` defers to the
         process default.  ``budget``/``faults`` govern the run stage
         (see :meth:`run_compiled`); the compile stage additionally
         honours a fault plan's ``compile_delay`` and converts host
@@ -122,7 +138,10 @@ class Implementation:
         if evaluator is None:
             evaluator = default_evaluator()
         try:
-            if evaluator == "core":
+            if evaluator == "compiled":
+                program = compile_threaded(self, source,
+                                           use_cache=use_cache)
+            elif evaluator == "core":
                 program = compile_core(self, source, use_cache=use_cache)
             else:
                 program = self.compile(source, use_cache=use_cache)

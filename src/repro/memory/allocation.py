@@ -23,6 +23,10 @@ class AllocKind(enum.Enum):
     FUNCTION = "function"  # code: function designators
     STRING = "string"    # string literals (read-only, static storage)
 
+    # Members are singletons; the allocator keys its cursor table by
+    # kind on every allocation, so keep hashing at C speed.
+    __hash__ = object.__hash__
+
 
 @dataclass
 class Allocation:

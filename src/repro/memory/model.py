@@ -219,11 +219,29 @@ class MemoryModel:
         )
         self.state.add_allocation(alloc)
         # Fresh objects have unspecified contents and no tags (this also
-        # clears stale bytes when stack addresses are reused).
-        for addr in range(base, base + padded):
-            self.state.bytes.pop(addr, None)
-        for slot in self.state.cap_slots(base, padded):
-            self.state.capmeta.pop(slot, None)
+        # clears stale bytes when stack addresses are reused).  Scan
+        # whichever side is smaller: the address range, or the live
+        # byte/capmeta maps -- a multi-megabyte malloc must not walk
+        # millions of addresses that were never written.
+        top = base + padded
+        bytes_map = self.state.bytes
+        if bytes_map:
+            if padded <= len(bytes_map):
+                for addr in range(base, top):
+                    bytes_map.pop(addr, None)
+            else:
+                for addr in [a for a in bytes_map if base <= a < top]:
+                    del bytes_map[addr]
+        capmeta = self.state.capmeta
+        if capmeta:
+            slots = self.state.cap_slots(base, padded)
+            if len(slots) <= len(capmeta):
+                for slot in slots:
+                    capmeta.pop(slot, None)
+            else:
+                first, last = slots[0], slots[-1]
+                for slot in [s for s in capmeta if first <= s <= last]:
+                    del capmeta[slot]
 
         perms = DATA_PERMS
         if readonly:
@@ -871,15 +889,24 @@ class MemoryModel:
         return None
 
     def member_shift(self, ptr: PointerValue, struct_t: StructT,
-                     member: str) -> PointerValue:
+                     member: str, *, offset: int | None = None,
+                     member_t: CType | None = None) -> PointerValue:
         """``&p->member``.  Sub-object bounds narrowing is off by default
         (S3.8: "the current default behaviour of CHERI C is to not
-        enforce subobject bounds")."""
-        offset = self.layout.offsetof(struct_t, member)
+        enforce subobject bounds").
+
+        ``offset``/``member_t`` let a caller holding the resolved
+        layout (the compiled evaluator's per-site inline caches) skip
+        re-deriving it; they must equal ``layout.offsetof(struct_t,
+        member)`` / ``struct_t.field_type(member)``.
+        """
+        if offset is None:
+            offset = self.layout.offsetof(struct_t, member)
         new_addr = ptr.address + offset
         cap = ptr.cap.with_address(new_addr)
         if self.subobject_bounds:
-            member_t = struct_t.field_type(member)
+            if member_t is None:
+                member_t = struct_t.field_type(member)
             cap, _ = cap.set_bounds(new_addr, self.layout.sizeof(member_t))
         bus = self.bus
         if bus is not None:

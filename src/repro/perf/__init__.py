@@ -26,6 +26,7 @@ from repro.perf.cache import (
     clear_cache,
     compile_core,
     compile_program,
+    compile_threaded,
     global_cache,
     set_cache_enabled,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "clear_cache",
     "compile_core",
     "compile_program",
+    "compile_threaded",
     "global_cache",
     "parallel_map",
     "resolve_jobs",

@@ -11,7 +11,7 @@ twice (once per distinct opt level) instead of seven times, and the
 differential oracle compiles each generated program a handful of times
 instead of once per target.
 
-Three layers of reuse:
+Four layers of reuse:
 
 * a *parse* memo keyed by ``(source, arch)`` -- the AST before
   optimisation, shared across opt levels (AST nodes are frozen
@@ -22,12 +22,22 @@ Three layers of reuse:
 * the *core* cache, keyed by the same five-axis tuple, holding the
   elaborated :class:`~repro.core.coreir.CoreProgram` (built from the
   optimised AST) -- or the elaboration error, cached with the same
-  once-not-once-per-implementation policy as frontend rejections.
+  once-not-once-per-implementation policy as frontend rejections;
+* the *threaded* cache, keyed by the same five-axis tuple, holding the
+  direct-threaded :class:`~repro.core.compile.CompiledProgram` built
+  from the cached Core program.  Compiled programs are closures and so
+  **process-local**: they never pickle across the worker pool -- a
+  worker that needs one compiles it in-process from the task's source
+  (tasks carry sources, not programs), and a ``CompiledProgram`` that
+  is pickled anyway reduces to its Core program and recompiles on
+  unpickle.
 
 All are bounded LRU maps (entries evicted oldest-first), sized for a
 long fuzz campaign without unbounded growth.  The cache is per-process:
 worker processes forked by :mod:`repro.perf.pool` inherit the parent's
-entries at fork time and then populate their own copies.
+entries at fork time and then populate their own copies (closure
+tables survive a fork, so forked workers start warm; spawned ones
+start cold and fall back to compiling locally).
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.core.compile import compile_core as compile_threaded_ir
 from repro.core.cparser import parse_program
 from repro.core.elaborate import elaborate_program
 from repro.core.optimizer import optimize_program
@@ -76,6 +87,11 @@ class CompileCache:
         # key -> ("ok", CoreProgram) | ("error", ...): elaborated Core,
         # same five-axis identity as the compiled layer.
         self._core: OrderedDict[tuple, tuple[str, object]] = OrderedDict()
+        # key -> ("ok", CompiledProgram) | ("error", ...): the
+        # direct-threaded closure tables (process-local; see module
+        # docstring).
+        self._threaded: OrderedDict[tuple, tuple[str, object]] = \
+            OrderedDict()
 
     @staticmethod
     def key_for(impl, source: str) -> tuple:
@@ -92,6 +108,7 @@ class CompileCache:
         self._compiled.clear()
         self._parsed.clear()
         self._core.clear()
+        self._threaded.clear()
         self.stats = CacheStats()
 
     def compile(self, impl, source: str):
@@ -156,6 +173,32 @@ class CompileCache:
             self._core.popitem(last=False)
         return core
 
+    def threaded(self, impl, source: str):
+        """Compile + elaborate + thread ``source`` for ``impl``,
+        reusing any cached :class:`~repro.core.compile.CompiledProgram`.
+        Frontend and elaboration rejections are cached under the same
+        five-axis key (the same policy as the other layers)."""
+        key = self.key_for(impl, source)
+        entry = self._threaded.get(key)
+        if entry is not None:
+            self._threaded.move_to_end(key)
+            tag, payload = entry
+            if tag == "error":
+                raise payload
+            return payload
+        try:
+            core = self.core(impl, source)
+        except (CSyntaxError, CTypeError) as exc:
+            self._threaded[key] = ("error", exc)
+            while len(self._threaded) > self.maxsize:
+                self._threaded.popitem(last=False)
+            raise
+        compiled = compile_threaded_ir(core, impl)
+        self._threaded[key] = ("ok", compiled)
+        while len(self._threaded) > self.maxsize:
+            self._threaded.popitem(last=False)
+        return compiled
+
     def _store(self, key: tuple, entry: tuple[str, object]) -> None:
         self._compiled[key] = entry
         while len(self._compiled) > self.maxsize:
@@ -208,3 +251,17 @@ def compile_core(impl, source: str, use_cache: bool | None = None):
         program = optimize_program(program, impl.layout, impl.opt_level)
         return elaborate_program(program)
     return _GLOBAL_CACHE.core(impl, source)
+
+
+def compile_threaded(impl, source: str, use_cache: bool | None = None):
+    """Compile + elaborate + direct-thread ``source`` for ``impl`` into
+    a :class:`~repro.core.compile.CompiledProgram`; ``use_cache=None``
+    defers to the process-wide switch.  An uncached compile bypasses
+    every layer (no lookups, no stats, no snapshot sharing)."""
+    if use_cache is None:
+        use_cache = _ENABLED
+    if not use_cache:
+        program = parse_program(source, impl.layout)
+        program = optimize_program(program, impl.layout, impl.opt_level)
+        return compile_threaded_ir(elaborate_program(program), impl)
+    return _GLOBAL_CACHE.threaded(impl, source)

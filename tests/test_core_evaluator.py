@@ -56,8 +56,10 @@ def both(source: str, **kwargs):
 
 
 class TestIterativeExecution:
-    def test_core_is_the_default_evaluator(self):
-        assert default_evaluator() == "core"
+    def test_compiled_is_the_default_evaluator(self):
+        # The direct-threaded compiled backend took the default over
+        # from the Core evaluator; both oracles stay selectable.
+        assert default_evaluator() == "compiled"
 
     def test_deep_call_chain_is_structured_resource_exhausted(self):
         # The acceptance-criterion regression: depth 100000 under a
@@ -212,15 +214,21 @@ class TestElaborationDeterminism:
         assert listing == expected
 
     def test_dump_core_flag_prints_the_listing(self, tmp_path, capsys):
+        # Under the default (compiled) evaluator the listing includes
+        # the compiler's fold/fuse annotations on top of the Core ops.
         from repro.cli import main
+        from repro.core.compile import render_compiled
+        from repro.perf import compile_threaded
         path = tmp_path / "bitops.c"
         path.write_text(self._bitops(), encoding="utf-8")
         status = main(["run", str(path), "--dump-core"])
         printed = capsys.readouterr().out
         assert status == 0
-        assert printed == render_core(
-            compile_core(CERBERUS, self._bitops())) + "\n"
+        assert printed == render_compiled(
+            compile_threaded(CERBERUS, self._bitops())) + "\n"
         assert "func main" in printed
+        assert render_core(compile_core(CERBERUS, self._bitops())) \
+            .splitlines()[0] in printed
 
     def test_optimised_ast_feeds_elaboration(self):
         # The modelled optimiser runs before elaboration, so the Core

@@ -6,6 +6,8 @@ compiled program across configuration axes that affect compilation,
 and explicit-empty suite selections stay empty.
 """
 
+import pathlib
+
 import pytest
 
 from repro.errors import CSyntaxError
@@ -155,6 +157,110 @@ class TestCompileCache:
             cached = impl.run(SOURCE, use_cache=True)
             uncached = impl.run(SOURCE, use_cache=False)
             assert cached == uncached, impl.name
+
+
+class TestThreadedCacheLayer:
+    """The fourth layer: direct-threaded CompiledPrograms."""
+
+    def test_hit_after_miss_shares_the_compiled_program(self):
+        cache = CompileCache()
+        first = cache.threaded(CERBERUS, SOURCE)
+        second = cache.threaded(CERBERUS, SOURCE)
+        assert first is second
+        assert len(cache._threaded) == 1
+
+    def test_shared_across_run_only_axes(self):
+        cache = CompileCache()
+        assert cache.threaded(CERBERUS, SOURCE) is \
+            cache.threaded(CLANG_MORELLO_O0, SOURCE)
+
+    def test_isolated_from_the_core_layer(self):
+        # The threaded layer holds CompiledPrograms built *from* the
+        # core layer's entries, never aliases into it: requesting the
+        # Core program afterwards serves the Core object, and the two
+        # layers key and evict independently.
+        from repro.core.compile import CompiledProgram
+        from repro.core.coreir import CoreProgram
+        cache = CompileCache()
+        threaded = cache.threaded(CERBERUS, SOURCE)
+        core = cache.core(CERBERUS, SOURCE)
+        assert isinstance(threaded, CompiledProgram)
+        assert isinstance(core, CoreProgram)
+        assert threaded is not core
+        assert threaded.core is core  # built from the cached Core
+        assert len(cache._threaded) == len(cache._core) == 1
+
+    def test_isolated_across_compile_axes(self):
+        cache = CompileCache()
+        plain = cache.threaded(CLANG_MORELLO_O3, SOURCE)
+        subobject = cache.threaded(CLANG_MORELLO_O3_SUBOBJECT, SOURCE)
+        assert plain is not subobject
+        assert len(cache._threaded) == 2
+
+    def test_eviction_is_bounded(self):
+        cache = CompileCache(maxsize=2)
+        for status in range(4):
+            cache.threaded(CERBERUS,
+                           f"int main(void) {{ return {status}; }}\n")
+        assert len(cache._threaded) <= 2
+
+    def test_frontend_error_cached_in_threaded_layer(self):
+        cache = CompileCache()
+        with pytest.raises(CSyntaxError):
+            cache.threaded(CERBERUS, BAD_SOURCE)
+        with pytest.raises(CSyntaxError):
+            cache.threaded(CERBERUS, BAD_SOURCE)
+        assert len(cache._threaded) == 1
+
+    def test_uncached_threaded_compile_bypasses_every_layer(self):
+        # The --no-compile-cache contract for the compiled evaluator:
+        # no lookups, no stored entries, a private program per call
+        # (hence a private run memo; see test_core_compile).
+        from repro.perf import global_cache
+        from repro.perf.cache import compile_threaded
+        before = global_cache().stats.lookups
+        entries = len(global_cache()._threaded)
+        first = compile_threaded(CERBERUS, SOURCE, use_cache=False)
+        second = compile_threaded(CERBERUS, SOURCE, use_cache=False)
+        assert first is not second
+        assert global_cache().stats.lookups == before
+        assert len(global_cache()._threaded) == entries
+
+    def test_cached_compiled_outcome_matches_uncached(self):
+        for impl in ALL_IMPLEMENTATIONS:
+            cached = impl.run(SOURCE, use_cache=True,
+                              evaluator="compiled")
+            uncached = impl.run(SOURCE, use_cache=False,
+                                evaluator="compiled")
+            assert cached == uncached, impl.name
+
+
+class TestBenchGateSkipReason:
+    """benchmarks/bench_engine.py records *why* a gate did not apply."""
+
+    @staticmethod
+    def bench_module():
+        import importlib.util
+        path = pathlib.Path(__file__).parent.parent / "benchmarks" / \
+            "bench_engine.py"
+        spec = importlib.util.spec_from_file_location("bench_engine",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_single_core_skips_with_reason(self):
+        bench = self.bench_module()
+        assert bench.throughput_gate_skip_reason(4, 1) == "cores<2"
+        assert bench.throughput_gate_skip_reason(4, None) == "cores<2"
+
+    def test_serial_request_skips_with_reason(self):
+        bench = self.bench_module()
+        assert bench.throughput_gate_skip_reason(1, 8) == "jobs<2"
+
+    def test_applicable_gate_has_no_reason(self):
+        bench = self.bench_module()
+        assert bench.throughput_gate_skip_reason(4, 8) == ""
 
 
 class TestCompileRunSplit:
