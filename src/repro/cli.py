@@ -47,6 +47,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the shared compilation cache "
                              "(each run re-parses and re-optimises)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory for the on-disk compile cache "
+                             "shared across processes and invocations "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the on-disk compile-cache layer "
+                             "(in-memory caching still applies)")
     parser.add_argument("--evaluator",
                         choices=("ast", "core", "compiled"),
                         default=None,
@@ -88,11 +96,16 @@ def _budget_from(args):
 
 
 def _apply_cache_flag(args) -> bool:
-    """Set the process-wide cache switch; returns the use_cache value
-    to thread into worker processes."""
-    from repro.perf import set_cache_enabled
+    """Set the process-wide cache switches (in-memory and on-disk);
+    returns the use_cache value to thread into worker processes (the
+    disk configuration travels separately, through the pool's worker
+    initializer)."""
+    from repro.perf import configure_disk_cache, set_cache_enabled
     use_cache = not args.no_compile_cache
     set_cache_enabled(use_cache)
+    configure_disk_cache(
+        enabled=use_cache and not getattr(args, "no_disk_cache", False),
+        directory=getattr(args, "cache_dir", None))
     return use_cache
 
 
@@ -215,6 +228,9 @@ def suite_main(argv: list[str]) -> int:
               f"got {result.outcome.describe()}")
     if args.metrics and report.metrics is not None:
         sys.stdout.write(report.metrics.summary())
+    if args.metrics:
+        from repro.perf import global_cache
+        sys.stdout.write(global_cache().stats.summary())
     return 0 if report.failed == 0 else 1
 
 
@@ -442,6 +458,8 @@ def _run_main(argv: list[str]) -> int:
         sys.stdout.write(outcome.stdout)
     if metrics is not None:
         sys.stdout.write(metrics.summary())
+        from repro.perf import global_cache
+        sys.stdout.write(global_cache().stats.summary())
     print(f"[{impl.name}] {outcome.describe()}", file=sys.stderr)
     return outcome.exit_status if outcome.ok else 1
 

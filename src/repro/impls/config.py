@@ -63,8 +63,12 @@ class Implementation:
         The result depends only on ``(source, arch, opt_level,
         subobject_bounds, options)``, so it is served from the
         process-wide compilation cache (:mod:`repro.perf.cache`) unless
-        ``use_cache`` disables it.  Raises :class:`CSyntaxError` /
-        :class:`CTypeError` when the frontend rejects the program.
+        ``use_cache`` disables it.  Elaborated Core programs
+        additionally persist in the content-addressed on-disk layer
+        (:mod:`repro.perf.disk`), so a fresh process -- or a pool
+        worker -- warm-starts from any previous run's compiles.
+        Raises :class:`CSyntaxError` / :class:`CTypeError` when the
+        frontend rejects the program.
         """
         return compile_program(self, source, use_cache=use_cache)
 

@@ -14,35 +14,57 @@ exploit:
   fanned out across worker processes and stitched back together in
   input order with bit-identical results (:mod:`repro.perf.pool`).
 
-``repro run|suite|compare|fuzz`` expose both through ``--jobs N`` and
-``--no-compile-cache``; ``benchmarks/bench_engine.py`` tracks the
+The pool's workers are *persistent and warm* -- one process-wide
+executor reused across calls, each worker keeping its own populated
+cache -- and the cache's Core layer is backed by a content-addressed
+on-disk store (:mod:`repro.perf.disk`) shared across processes and
+CLI invocations, so a warm-started run performs zero compiles.
+
+``repro run|suite|compare|fuzz`` expose all of this through ``--jobs
+N``, ``--no-compile-cache``, ``--cache-dir DIR``, and
+``--no-disk-cache``; ``benchmarks/bench_engine.py`` tracks the
 resulting throughput in the ``BENCH_engine.json`` trajectory.
 """
 
 from repro.perf.cache import (
     CacheStats,
+    CacheStatsSet,
     CompileCache,
     cache_enabled,
     clear_cache,
     compile_core,
     compile_program,
     compile_threaded,
+    configure_disk_cache,
+    disk_cache_config,
     global_cache,
     set_cache_enabled,
 )
-from repro.perf.pool import TaskFailure, parallel_map, resolve_jobs
+from repro.perf.disk import DiskCache, default_cache_dir
+from repro.perf.pool import (
+    TaskFailure,
+    parallel_map,
+    resolve_jobs,
+    shutdown_workers,
+)
 
 __all__ = [
     "CacheStats",
+    "CacheStatsSet",
     "CompileCache",
+    "DiskCache",
     "TaskFailure",
     "cache_enabled",
     "clear_cache",
     "compile_core",
     "compile_program",
     "compile_threaded",
+    "configure_disk_cache",
+    "default_cache_dir",
+    "disk_cache_config",
     "global_cache",
     "parallel_map",
     "resolve_jobs",
     "set_cache_enabled",
+    "shutdown_workers",
 ]

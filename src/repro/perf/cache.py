@@ -11,7 +11,8 @@ twice (once per distinct opt level) instead of seven times, and the
 differential oracle compiles each generated program a handful of times
 instead of once per target.
 
-Four layers of reuse:
+Five layers of reuse, each with its own :class:`CacheStats` in
+``CompileCache.stats`` (a :class:`CacheStatsSet`):
 
 * a *parse* memo keyed by ``(source, arch)`` -- the AST before
   optimisation, shared across opt levels (AST nodes are frozen
@@ -30,14 +31,26 @@ Four layers of reuse:
   worker that needs one compiles it in-process from the task's source
   (tasks carry sources, not programs), and a ``CompiledProgram`` that
   is pickled anyway reduces to its Core program and recompiles on
-  unpickle.
+  unpickle;
+* the *disk* layer (:mod:`repro.perf.disk`): a content-addressed
+  on-disk store of pickled Core programs backing the core layer, keyed
+  by the SHA-256 of the same five axes, shared across worker processes
+  **and across CLI invocations**.  A core-layer miss consults it before
+  compiling, and a fresh compile publishes to it, so a warm-started
+  process (or a cold pool worker) performs zero frontend compiles for
+  sources any previous run compiled.  Rejections are never written to
+  disk -- they are cheap to rediscover and memory-cached per process.
 
-All are bounded LRU maps (entries evicted oldest-first), sized for a
-long fuzz campaign without unbounded growth.  The cache is per-process:
-worker processes forked by :mod:`repro.perf.pool` inherit the parent's
-entries at fork time and then populate their own copies (closure
-tables survive a fork, so forked workers start warm; spawned ones
-start cold and fall back to compiling locally).
+The in-memory layers are bounded LRU maps (entries evicted
+oldest-first), sized for a long fuzz campaign without unbounded growth,
+and are per-process: worker processes forked by :mod:`repro.perf.pool`
+inherit the parent's entries at fork time and then populate their own
+copies.  The disk layer is what makes that cheap to live with --
+spawned or recycled workers warm-start from it instead of recompiling.
+
+``set_cache_enabled(False)`` (the CLI's ``--no-compile-cache``)
+bypasses every layer; ``configure_disk_cache`` (the CLI's
+``--cache-dir``/``--no-disk-cache``) controls only the disk layer.
 """
 
 from __future__ import annotations
@@ -50,14 +63,15 @@ from repro.core.cparser import parse_program
 from repro.core.elaborate import elaborate_program
 from repro.core.optimizer import optimize_program
 from repro.errors import CSyntaxError, CTypeError
+from repro.perf.disk import DiskCache, default_cache_dir
 
-#: Default entry bound for both cache layers.
+#: Default entry bound for the in-memory cache layers.
 DEFAULT_MAXSIZE = 4096
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`CompileCache`."""
+    """Hit/miss accounting for one cache layer."""
 
     hits: int = 0
     misses: int = 0
@@ -75,12 +89,88 @@ class CacheStats:
                 "hit_rate": round(self.hit_rate, 4)}
 
 
-class CompileCache:
-    """LRU cache of compiled programs (and frontend rejections)."""
+class CacheStatsSet:
+    """Per-layer :class:`CacheStats` for one :class:`CompileCache`.
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    One entry per layer (``parse``/``compiled``/``core``/``threaded``/
+    ``disk``) plus aggregates.  The pre-PR-8 single counter was blind
+    to the core and threaded layers -- the default ``compiled``
+    evaluator never touched it, so warm runs reported a 0.0 hit rate.
+    """
+
+    LAYERS = ("parse", "compiled", "core", "threaded", "disk")
+
+    def __init__(self) -> None:
+        self.parse = CacheStats()
+        self.compiled = CacheStats()
+        self.core = CacheStats()
+        self.threaded = CacheStats()
+        self.disk = CacheStats()
+
+    def layer(self, name: str) -> CacheStats:
+        return getattr(self, name)
+
+    @property
+    def hits(self) -> int:
+        return sum(self.layer(name).hits for name in self.LAYERS)
+
+    @property
+    def misses(self) -> int:
+        return sum(self.layer(name).misses for name in self.LAYERS)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def compiles_performed(self) -> int:
+        """Frontend compiles this cache actually executed: every parse
+        that ran (a disk hit serves the elaborated Core program without
+        parsing, so a fully warm-started run reads 0 here)."""
+        return self.parse.misses
+
+    def to_dict(self) -> dict:
+        report = {name: self.layer(name).to_dict()
+                  for name in self.LAYERS}
+        report["total"] = {"hits": self.hits, "misses": self.misses,
+                           "hit_rate": round(self.hit_rate, 4)}
+        report["compiles_performed"] = self.compiles_performed
+        return report
+
+    def summary(self) -> str:
+        """Human-readable per-layer table (the CLI's ``--metrics``)."""
+        lines = ["compile cache (layer: hits/misses, hit-rate):"]
+        for name in self.LAYERS:
+            stats = self.layer(name)
+            lines.append(f"  {name:<9s} {stats.hits:6d} /{stats.misses:6d}"
+                         f"   {stats.hit_rate:5.2f}")
+        lines.append(f"  compiles performed: {self.compiles_performed}")
+        return "\n".join(lines) + "\n"
+
+
+class CompileCache:
+    """LRU cache of compiled programs (and frontend rejections).
+
+    ``disk`` selects the persistent backing layer: the default follows
+    the process-wide configuration (``configure_disk_cache``); pass an
+    explicit :class:`~repro.perf.disk.DiskCache` to pin a directory, or
+    ``None`` for a purely in-memory cache.
+    """
+
+    #: Sentinel: resolve the disk layer from the process-wide
+    #: configuration at lookup time (so CLI flags applied after
+    #: construction still govern the import-time global cache).
+    PROCESS_DISK = object()
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
+                 disk=PROCESS_DISK) -> None:
         self.maxsize = maxsize
-        self.stats = CacheStats()
+        self.stats = CacheStatsSet()
+        self._disk = disk
         # key -> ("ok", Program) | ("error", CSyntaxError | CTypeError)
         self._compiled: OrderedDict[tuple, tuple[str, object]] = OrderedDict()
         self._parsed: OrderedDict[tuple, object] = OrderedDict()
@@ -101,15 +191,31 @@ class CompileCache:
         return (source, impl.arch.name, impl.opt_level,
                 impl.subobject_bounds, impl.options)
 
+    def active_disk(self) -> DiskCache | None:
+        if self._disk is CompileCache.PROCESS_DISK:
+            return _process_disk()
+        return self._disk
+
+    def entry_counts(self) -> dict[str, int]:
+        """In-memory entries per layer."""
+        return {"parse": len(self._parsed),
+                "compiled": len(self._compiled),
+                "core": len(self._core),
+                "threaded": len(self._threaded)}
+
     def __len__(self) -> int:
-        return len(self._compiled)
+        """Total in-memory entries across every layer."""
+        return sum(self.entry_counts().values())
 
     def clear(self) -> None:
+        """Drop the in-memory layers and reset stats.  The disk layer
+        is shared across processes and deliberately survives -- remove
+        its directory to clear it."""
         self._compiled.clear()
         self._parsed.clear()
         self._core.clear()
         self._threaded.clear()
-        self.stats = CacheStats()
+        self.stats = CacheStatsSet()
 
     def compile(self, impl, source: str):
         """Parse + optimise ``source`` for ``impl``, reusing any cached
@@ -119,12 +225,12 @@ class CompileCache:
         entry = self._compiled.get(key)
         if entry is not None:
             self._compiled.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.compiled.hits += 1
             tag, payload = entry
             if tag == "error":
                 raise payload
             return payload
-        self.stats.misses += 1
+        self.stats.compiled.misses += 1
         try:
             program = self._parse(impl, source)
             program = optimize_program(program, impl.layout, impl.opt_level)
@@ -139,7 +245,9 @@ class CompileCache:
         program = self._parsed.get(pkey)
         if program is not None:
             self._parsed.move_to_end(pkey)
+            self.stats.parse.hits += 1
             return program
+        self.stats.parse.misses += 1
         program = parse_program(source, impl.layout)
         self._parsed[pkey] = program
         while len(self._parsed) > self.maxsize:
@@ -148,29 +256,38 @@ class CompileCache:
 
     def core(self, impl, source: str):
         """Compile + elaborate ``source`` for ``impl``, reusing any
-        cached :class:`~repro.core.coreir.CoreProgram`.  Frontend *and*
-        elaboration rejections are cached under the same five-axis key,
-        so an elaboration-rejected program is rejected once, not once
-        per implementation sharing the key."""
+        cached :class:`~repro.core.coreir.CoreProgram` -- from memory
+        first, then from the shared disk layer.  Frontend *and*
+        elaboration rejections are cached (in memory only) under the
+        same five-axis key, so an elaboration-rejected program is
+        rejected once, not once per implementation sharing the key."""
         key = self.key_for(impl, source)
         entry = self._core.get(key)
         if entry is not None:
             self._core.move_to_end(key)
+            self.stats.core.hits += 1
             tag, payload = entry
             if tag == "error":
                 raise payload
             return payload
+        self.stats.core.misses += 1
+        disk = self.active_disk()
+        if disk is not None:
+            core = disk.load(key)
+            if core is not None:
+                self.stats.disk.hits += 1
+                self._store_core(key, ("ok", core))
+                return core
+            self.stats.disk.misses += 1
         try:
             program = self.compile(impl, source)
             core = elaborate_program(program)
         except (CSyntaxError, CTypeError) as exc:
-            self._core[key] = ("error", exc)
-            while len(self._core) > self.maxsize:
-                self._core.popitem(last=False)
+            self._store_core(key, ("error", exc))
             raise
-        self._core[key] = ("ok", core)
-        while len(self._core) > self.maxsize:
-            self._core.popitem(last=False)
+        self._store_core(key, ("ok", core))
+        if disk is not None:
+            disk.store(key, core)
         return core
 
     def threaded(self, impl, source: str):
@@ -182,10 +299,12 @@ class CompileCache:
         entry = self._threaded.get(key)
         if entry is not None:
             self._threaded.move_to_end(key)
+            self.stats.threaded.hits += 1
             tag, payload = entry
             if tag == "error":
                 raise payload
             return payload
+        self.stats.threaded.misses += 1
         try:
             core = self.core(impl, source)
         except (CSyntaxError, CTypeError) as exc:
@@ -204,9 +323,20 @@ class CompileCache:
         while len(self._compiled) > self.maxsize:
             self._compiled.popitem(last=False)
 
+    def _store_core(self, key: tuple, entry: tuple[str, object]) -> None:
+        self._core[key] = entry
+        while len(self._core) > self.maxsize:
+            self._core.popitem(last=False)
+
 
 _GLOBAL_CACHE = CompileCache()
 _ENABLED = True
+
+#: Process-wide disk-layer configuration (the CLI's ``--cache-dir`` /
+#: ``--no-disk-cache``).  ``None`` directory = the default location.
+_DISK_ENABLED = True
+_DISK_DIR: str | None = None
+_DISK_INSTANCE: DiskCache | None = None
 
 
 def global_cache() -> CompileCache:
@@ -222,6 +352,47 @@ def set_cache_enabled(enabled: bool) -> None:
 
 def cache_enabled() -> bool:
     return _ENABLED
+
+
+def configure_disk_cache(enabled: bool | None = None,
+                         directory: str | None = None) -> None:
+    """Configure the process-wide disk layer.
+
+    ``enabled=False`` turns it off entirely; ``directory=None`` keeps
+    the default (``~/.cache/repro``-style, see
+    :func:`repro.perf.disk.default_cache_dir`).  Worker processes
+    receive this configuration through the pool initializer so parent
+    and workers always share one directory.
+    """
+    global _DISK_ENABLED, _DISK_DIR, _DISK_INSTANCE
+    if enabled is not None:
+        _DISK_ENABLED = enabled
+    _DISK_DIR = directory
+    _DISK_INSTANCE = None
+
+
+def disk_cache_config() -> tuple[bool, str | None]:
+    """The (enabled, directory) snapshot shipped to pool workers."""
+    return (_DISK_ENABLED, _DISK_DIR)
+
+
+def apply_worker_config(config: tuple[bool, str | None]) -> None:
+    """Install a parent's engine configuration in a pool worker."""
+    enabled, directory = config
+    configure_disk_cache(enabled=enabled, directory=directory)
+
+
+def _process_disk() -> DiskCache | None:
+    """The configured process-wide :class:`DiskCache` (lazy; ``None``
+    when disabled)."""
+    global _DISK_INSTANCE
+    if not _DISK_ENABLED:
+        return None
+    if _DISK_INSTANCE is None:
+        directory = _DISK_DIR if _DISK_DIR is not None \
+            else default_cache_dir()
+        _DISK_INSTANCE = DiskCache(directory)
+    return _DISK_INSTANCE
 
 
 def clear_cache() -> None:

@@ -10,6 +10,24 @@ from repro.memory.allocator import AddressMap
 from repro.memory.model import MemoryModel, Mode
 
 
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Keep the suite hermetic: no test touches ``~/.cache/repro``.
+
+    The on-disk compile-cache layer is disabled for every test by
+    default -- tests that exercise it opt back in with
+    ``configure_disk_cache`` or an explicit ``DiskCache`` -- and
+    ``REPRO_CACHE_DIR`` points any code path that re-enables the
+    default directory (the CLI mains do) at a throwaway location.
+    """
+    from repro.perf import cache as perf_cache
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "disk-cache"))
+    enabled, directory = perf_cache.disk_cache_config()
+    perf_cache.configure_disk_cache(enabled=False, directory=None)
+    yield
+    perf_cache.configure_disk_cache(enabled=enabled, directory=directory)
+
+
 @pytest.fixture
 def amap() -> AddressMap:
     return CERBERUS_MAP

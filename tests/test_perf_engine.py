@@ -34,22 +34,25 @@ BAD_SOURCE = "int main(void { return 0; }\n"
 
 class TestCompileCache:
     def test_hit_after_miss(self):
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         first = cache.compile(CERBERUS, SOURCE)
         second = cache.compile(CERBERUS, SOURCE)
         assert first is second
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
-        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.compiled.hits == 1
+        assert cache.stats.compiled.misses == 1
+        assert cache.stats.compiled.hit_rate == 0.5
+        # One parse actually ran -- the "compiles performed" number the
+        # warm-start gate asserts on.
+        assert cache.stats.compiles_performed == 1
 
     def test_shared_across_run_only_axes(self):
         # cerberus and clang-morello-O0 differ only in address map and
         # mode -- run-time axes -- so they share one compiled program.
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         ref = cache.compile(CERBERUS, SOURCE)
         hw = cache.compile(CLANG_MORELLO_O0, SOURCE)
         assert ref is hw
-        assert cache.stats.hits == 1
+        assert cache.stats.compiled.hits == 1
 
     @pytest.mark.parametrize("other", [
         CLANG_MORELLO_O3,            # opt_level axis
@@ -60,41 +63,45 @@ class TestCompileCache:
     def test_isolated_across_compile_axes(self, other):
         # Distinct (arch, opt_level, subobject_bounds, options) keys
         # never serve each other's entries: two misses, two entries.
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         cache.compile(CERBERUS, SOURCE)
         cache.compile(other, SOURCE)
-        assert cache.stats.hits == 0
-        assert cache.stats.misses == 2
-        assert len(cache) == 2
+        assert cache.stats.compiled.hits == 0
+        assert cache.stats.compiled.misses == 2
+        assert cache.entry_counts()["compiled"] == 2
 
     def test_subobject_key_isolated_from_plain_o3(self):
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         plain = cache.compile(CLANG_MORELLO_O3, SOURCE)
         subobject = cache.compile(CLANG_MORELLO_O3_SUBOBJECT, SOURCE)
         assert subobject is not plain
-        assert cache.stats.hits == 0
+        assert cache.stats.compiled.hits == 0
 
     def test_parse_shared_across_opt_levels(self):
         # O0 and O3 compile to different programs but share the parse.
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         cache.compile(CERBERUS, SOURCE)
         assert len(cache._parsed) == 1
         cache.compile(CLANG_MORELLO_O3, SOURCE)
         assert len(cache._parsed) == 1
+        assert cache.stats.parse.hits == 1
+        assert cache.stats.parse.misses == 1
 
     def test_frontend_error_cached(self):
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         with pytest.raises(CSyntaxError):
             cache.compile(CERBERUS, BAD_SOURCE)
         with pytest.raises(CSyntaxError):
             cache.compile(CERBERUS, BAD_SOURCE)
-        assert cache.stats.hits == 1
+        assert cache.stats.compiled.hits == 1
 
     def test_core_layer_shares_elaborated_program(self):
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         first = cache.core(CERBERUS, SOURCE)
         second = cache.core(CLANG_MORELLO_O0, SOURCE)
         assert first is second
+        assert cache.stats.core.hits == 1
+        assert cache.stats.core.misses == 1
 
     def test_elaboration_error_cached_once_across_impls(self, monkeypatch):
         # A program the elaborator rejects is rejected once per compile
@@ -110,7 +117,7 @@ class TestCompileCache:
             raise ElaborationError("synthetic elaboration failure")
 
         monkeypatch.setattr(cache_mod, "elaborate_program", failing)
-        cache = CompileCache()
+        cache = CompileCache(disk=None)
         with pytest.raises(ElaborationError):
             cache.core(CERBERUS, SOURCE)
         with pytest.raises(ElaborationError):
@@ -138,11 +145,11 @@ class TestCompileCache:
             cache_mod.clear_cache()
 
     def test_eviction_is_bounded(self):
-        cache = CompileCache(maxsize=2)
+        cache = CompileCache(maxsize=2, disk=None)
         for status in range(4):
             cache.compile(CERBERUS,
                           f"int main(void) {{ return {status}; }}\n")
-        assert len(cache) <= 2
+        assert cache.entry_counts()["compiled"] <= 2
         assert len(cache._parsed) <= 2
 
     def test_uncached_compile_bypasses_global_cache(self):

@@ -1,4 +1,5 @@
-"""Hardened-pool fault injection (ISSUE 4, docs/ROBUSTNESS.md).
+"""Hardened-pool fault injection (ISSUE 4, docs/ROBUSTNESS.md) and the
+persistent warm pool (ISSUE 8).
 
 The properties under test:
 
@@ -7,7 +8,12 @@ The properties under test:
 * a task that fails twice lands in the report as *quarantined* -- one
   bad case never aborts the run or poisons its pool-mates;
 * a hung worker is detected via the task timeout and torn down within
-  bounded wall-clock time.
+  bounded wall-clock time;
+* the persistent pool is reused across ``parallel_map`` calls (warm
+  workers), but never by fault-plan runs, and is rebuilt after faults;
+* when no isolated retry worker can be built, a known-bad item is
+  quarantined -- never re-run inline in the parent process;
+* chunk sizing follows the measured per-item cost of previous calls.
 
 All worker functions are top-level so they pickle into workers.
 """
@@ -96,6 +102,134 @@ class TestParallelMapFaults:
 
 def _reciprocal(x):
     return 1 / x
+
+
+def _costed(x):
+    return x
+
+
+def _uncosted(x):
+    return x
+
+
+class TestWarmPool:
+    def test_persistent_pool_reused_across_calls(self):
+        from repro.perf import pool as pool_mod
+        pool_mod.shutdown_workers()
+        assert parallel_map(_double, range(8), jobs=2, chunksize=2) \
+            == [_double(i) for i in range(8)]
+        first = pool_mod._POOL._executor
+        assert first is not None
+        assert parallel_map(_double, range(8), jobs=2, chunksize=2) \
+            == [_double(i) for i in range(8)]
+        assert pool_mod._POOL._executor is first
+        pool_mod.shutdown_workers()
+        assert pool_mod._POOL._executor is None
+
+    def test_fault_plan_runs_never_touch_the_persistent_pool(self):
+        from repro.perf import pool as pool_mod
+        pool_mod.shutdown_workers()
+        parallel_map(_double, range(8), jobs=2, chunksize=2,
+                     fault_plan=FaultPlan(kill_task_index=1))
+        assert pool_mod._POOL._executor is None
+
+    def test_pool_rebuilt_after_worker_death(self, tmp_path):
+        # A fault-free call builds the pool; a fault run (throwaway
+        # executor) cannot break it; the next fault-free call reuses it.
+        from repro.perf import pool as pool_mod
+        pool_mod.shutdown_workers()
+        parallel_map(_double, range(8), jobs=2, chunksize=2)
+        warm = pool_mod._POOL._executor
+        plan = FaultPlan(kill_task_index=3,
+                         once_token=str(tmp_path / "latch"))
+        parallel_map(_double, range(8), jobs=2, chunksize=2,
+                     fault_plan=plan)
+        assert pool_mod._POOL._executor is warm
+        pool_mod.shutdown_workers()
+
+    def test_isolated_fallback_quarantines_instead_of_inline(
+            self, monkeypatch):
+        # If no isolated single-worker executor can be built for the
+        # retry stage, the known-bad item must come back as a
+        # TaskFailure -- running it inline in the parent would let a
+        # crash-looping item kill the whole run.
+        from repro.perf import pool as pool_mod
+        real = pool_mod.ProcessPoolExecutor
+
+        def no_singles(*args, **kwargs):
+            if kwargs.get("max_workers") == 1:
+                raise OSError("isolated workers unavailable")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", no_singles)
+        results = parallel_map(_double, range(10), jobs=2, chunksize=2,
+                               fault_plan=FaultPlan(kill_task_index=3))
+        # The killed item must be quarantined, not a value: an inline
+        # parent-process rerun (which never installs the fault plan)
+        # would have produced _double(3) here.
+        failure = results[3]
+        assert isinstance(failure, TaskFailure)
+        assert "no isolated worker" in failure.error
+        # Pool-mates either finished before the crash poisoned the
+        # executor or were quarantined too -- never half-computed.
+        for i in range(10):
+            if i != 3 and not isinstance(results[i], TaskFailure):
+                assert results[i] == _double(i)
+
+
+class TestChunkSizing:
+    def test_measured_cost_drives_group_size(self):
+        from repro.perf.pool import _auto_chunksize, _record_cost
+        _record_cost(_costed, 10, 0.5)  # 50ms/item measured
+        # 0.25s target / 0.05s per item = 5, under the load-balance cap.
+        assert _auto_chunksize(_costed, 100, 2) == 5
+
+    def test_load_balance_caps_cheap_items(self):
+        from repro.perf.pool import _auto_chunksize, _record_cost
+        _record_cost(_costed, 1000, 0.001)  # 1us/item: huge raw groups
+        # Every worker still gets >= 2 groups.
+        assert _auto_chunksize(_costed, 100, 2) <= 25
+
+    def test_unmeasured_fn_uses_static_split(self):
+        from repro.perf.pool import _auto_chunksize
+        assert _auto_chunksize(_uncosted, 80, 2) == 10  # 80 // (2*4)
+
+    def test_cost_estimate_updates_as_ewma(self):
+        from repro.perf.pool import (_COST_ESTIMATES, _fn_cost_key,
+                                     _record_cost)
+        key = _fn_cost_key(_uncosted)
+        _COST_ESTIMATES.pop(key, None)
+        _record_cost(_uncosted, 10, 1.0)   # 0.1 s/item
+        _record_cost(_uncosted, 10, 3.0)   # 0.3 s/item
+        assert abs(_COST_ESTIMATES[key] - 0.2) < 1e-9
+        _COST_ESTIMATES.pop(key, None)
+
+
+class TestIncrementalDeadlines:
+    def test_hang_quarantines_only_the_hung_item(self):
+        # With single-item groups, the deadline trips on the hung
+        # group; pool-mates that were torn down with it are retried on
+        # isolated workers and still produce their real values.
+        results = parallel_map(_double, range(6), jobs=2, chunksize=1,
+                               fault_plan=FaultPlan(hang_task_index=0),
+                               task_timeout=0.5)
+        assert isinstance(results[0], TaskFailure)
+        assert "deadline" in results[0].error
+        for i in range(1, 6):
+            assert results[i] == _double(i)
+
+    def test_detection_is_incremental_not_collective(self):
+        # 12 single-item groups at 0.5s each: the pre-PR-8 collective
+        # budget would allow ~6s before even checking; the incremental
+        # tracker trips within about one group budget plus retry
+        # overhead for the single hung item.
+        started = time.monotonic()
+        results = parallel_map(_double, range(12), jobs=2, chunksize=1,
+                               fault_plan=FaultPlan(hang_task_index=1),
+                               task_timeout=0.5)
+        elapsed = time.monotonic() - started
+        assert isinstance(results[1], TaskFailure)
+        assert elapsed < 30.0
 
 
 def _report_bytes(report) -> str:
