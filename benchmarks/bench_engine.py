@@ -16,7 +16,14 @@ at the repository root:
 * the warm-start axis (ISSUE 8) -- a cold compliance run populates the
   on-disk compile cache, every in-memory layer is dropped, and the
   re-run must perform **zero frontend compiles** (every Core program
-  served from disk) while rendering a byte-identical report.
+  served from disk) while rendering a byte-identical report;
+* the coverage axis (ISSUE 9) -- a guided campaign (``repro fuzz
+  --guided``, run in resumed rounds so the corpus scheduler actually
+  feeds mutation) against the blind generator on the same number of
+  programs, measured as distinct Core ops covered per 1k programs.
+  Guided must reach **>= 1.2x** the blind op coverage; below the
+  minimum campaign size the gate is skipped and the entry records why
+  (``coverage_gate_skipped_reason``).
 
 Every phase runs against its own fresh temporary disk-cache directory,
 so the numbers are honest cold/warm measurements and the benchmark
@@ -63,7 +70,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 if not any((pathlib.Path(p) / "repro").is_dir() for p in sys.path if p):
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.fuzz.driver import run_fuzz                      # noqa: E402
+from repro.fuzz.campaign import run_campaign                # noqa: E402
+from repro.fuzz.coverage import Coverage, coverage_of       # noqa: E402
+from repro.fuzz.driver import program_for, run_fuzz         # noqa: E402
 from repro.impls import ALL_IMPLEMENTATIONS                 # noqa: E402
 from repro.perf import (                                    # noqa: E402
     clear_cache,
@@ -77,6 +86,14 @@ from repro.testsuite.compare import compare_implementations  # noqa: E402
 from repro.testsuite.suite import all_cases                 # noqa: E402
 
 SCHEMA_VERSION = 1
+
+# The coverage-axis gate (ISSUE 9): guided must cover >= this multiple
+# of the blind generator's distinct Core ops per 1k programs, judged
+# only when the campaign is at least COVERAGE_MIN_PROGRAMS programs
+# (smaller campaigns have not filled the corpus yet, so the comparison
+# would measure noise, not the scheduler).
+COVERAGE_GATE = 1.2
+COVERAGE_MIN_PROGRAMS = 100
 
 
 def timed(fn):
@@ -246,6 +263,78 @@ def bench_evaluators(cases, seed, iterations, shrink_budget, disk_base):
     return reports, timings
 
 
+def bench_coverage(seed, programs, rounds, disk_base):
+    """The coverage axis (ISSUE 9): guided vs blind op coverage.
+
+    The blind baseline unions :func:`coverage_of` over the first
+    ``programs`` generator outputs -- exactly what ``repro fuzz``
+    evaluates without guidance.  The guided run spends the same program
+    budget in a campaign split into ``rounds`` resumed invocations:
+    guidance only sharpens at invocation boundaries (the snapshot is
+    frozen per invocation), so a single big invocation would mostly
+    measure fresh draws.  Both sides count *distinct Core op ids*
+    reached on the traced reference run; ``classify=False`` skips the
+    differential oracle so the two sides do comparable work per
+    program.
+    """
+    fresh_disk(disk_base, "coverage-blind")
+    clear_cache()
+
+    def blind_union():
+        covered = Coverage()
+        for k in range(programs):
+            probe = coverage_of(program_for(seed, k))
+            covered = covered.union(probe.coverage)
+        return covered
+
+    blind, t_blind = timed(blind_union)
+
+    fresh_disk(disk_base, "coverage-guided")
+    clear_cache()
+    per_round = programs // rounds
+
+    def guided_union():
+        covered = Coverage()
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-corpus-") as corpus:
+            for round_index in range(rounds):
+                report = run_campaign(
+                    seed=seed, iterations=per_round, corpus_dir=corpus,
+                    jobs=1, use_cache=True, classify=False,
+                    resume=round_index > 0)
+                covered = covered.union(report.covered)
+        return covered
+
+    guided, t_guided = timed(guided_union)
+
+    guided_programs = per_round * rounds
+    blind_per_1k = len(blind.ops) / programs * 1000
+    guided_per_1k = len(guided.ops) / max(guided_programs, 1) * 1000
+    ratio = (guided_per_1k / blind_per_1k) if blind_per_1k else float("inf")
+    timings = {
+        "programs": programs,
+        "guided_programs": guided_programs,
+        "rounds": rounds,
+        "blind_s": round(t_blind, 4),
+        "guided_s": round(t_guided, 4),
+        "blind_ops": len(blind.ops),
+        "guided_ops": len(guided.ops),
+        "blind_keys": len(blind.keys()),
+        "guided_keys": len(guided.keys()),
+        "blind_ops_per_1k": round(blind_per_1k, 1),
+        "guided_ops_per_1k": round(guided_per_1k, 1),
+        "guided_blind_ratio": round(ratio, 3),
+    }
+    return timings
+
+
+def coverage_gate_skip_reason(programs: int) -> str:
+    """Why the coverage gate does not apply, or ``""``."""
+    if programs < COVERAGE_MIN_PROGRAMS:
+        return f"programs<{COVERAGE_MIN_PROGRAMS}"
+    return ""
+
+
 def throughput_gate_skip_reason(jobs: int, cores: int | None) -> str:
     """Why the parallel-throughput gate does not apply, or ``""``.
 
@@ -289,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         cases = cases[:30]
     fuzz_iterations = 24 if args.quick else 80
     shrink_budget = 20 if args.quick else 60
+    coverage_programs = 120 if args.quick else 400
+    coverage_rounds = 6 if args.quick else 8
 
     print(f"engine benchmark: {len(cases)} suite cases x "
           f"{len(ALL_IMPLEMENTATIONS)} impls, {fuzz_iterations} fuzz "
@@ -306,6 +397,9 @@ def main(argv: list[str] | None = None) -> int:
         evaluator_reports, evaluator_timings = bench_evaluators(
             cases, seed=0, iterations=fuzz_iterations,
             shrink_budget=shrink_budget, disk_base=disk_base)
+        coverage_timings = bench_coverage(
+            seed=0, programs=coverage_programs, rounds=coverage_rounds,
+            disk_base=disk_base)
         shutdown_workers()  # release the warm pool before the dir goes
     configure_disk_cache(enabled=False, directory=None)
 
@@ -377,6 +471,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"note: parallel-throughput gate skipped "
               f"({gate_skipped_reason})")
 
+    # Coverage gate (ISSUE 9): the scheduler exists to reach program
+    # shapes the blind generator does not, so on any real campaign
+    # guided coverage must beat blind by 1.2x distinct Core ops per 1k
+    # programs.  Below the minimum campaign size the comparison is
+    # noise and the entry records why it was skipped.
+    coverage_skipped_reason = coverage_gate_skip_reason(coverage_programs)
+    if not coverage_skipped_reason and \
+            coverage_timings["guided_blind_ratio"] < COVERAGE_GATE:
+        print(f"FAIL: guided coverage below the {COVERAGE_GATE}x gate "
+              f"({coverage_timings['guided_ops_per_1k']} vs "
+              f"{coverage_timings['blind_ops_per_1k']} ops/1k programs "
+              f"= {coverage_timings['guided_blind_ratio']}x)",
+              file=sys.stderr)
+        ok = False
+    if coverage_skipped_reason:
+        print(f"note: coverage gate skipped ({coverage_skipped_reason})")
+
     entry = {
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -389,8 +500,10 @@ def main(argv: list[str] | None = None) -> int:
         "warm_start": warm_timings,
         "fuzz": fuzz_timings,
         "evaluator": evaluator_timings,
+        "coverage": coverage_timings,
         "throughput_gate": throughput_gated,
         "gate_skipped_reason": gate_skipped_reason,
+        "coverage_gate_skipped_reason": coverage_skipped_reason,
         "deterministic": ok,
     }
     output = pathlib.Path(args.output)
@@ -422,6 +535,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({evaluator_timings['speedup_core_fuzz']}x), compiled "
           f"{evaluator_timings['fuzz_compiled_programs_per_s']} "
           f"programs/s ({evaluator_timings['speedup_compiled_fuzz']}x)")
+    print(f"coverage: blind {coverage_timings['blind_ops_per_1k']} "
+          f"ops/1k, guided {coverage_timings['guided_ops_per_1k']} "
+          f"ops/1k ({coverage_timings['guided_blind_ratio']}x over "
+          f"{coverage_timings['programs']} programs, "
+          f"{coverage_timings['rounds']} rounds)")
     print(f"{'OK' if ok else 'DIVERGENCE'}: trajectory entry appended "
           f"to {output}")
     return 0 if ok else 1

@@ -135,8 +135,32 @@ def fuzz_main(argv: list[str]) -> int:
                         metavar="SECONDS",
                         help="stop generating after this many seconds")
     parser.add_argument("--corpus-dir", default=None, metavar="DIR",
-                        help="write minimized finding cases to this "
-                             "regression-corpus directory")
+                        help="blind mode: write minimized finding cases "
+                             "to this regression-corpus directory; "
+                             "guided mode: the campaign corpus "
+                             "(seeds/, findings/, state.json)")
+    guided = parser.add_argument_group(
+        "coverage-guided campaigns",
+        "AFL-style guided fuzzing (docs/FUZZING.md): coverage-advancing "
+        "programs persist as corpus seeds and later candidates mutate "
+        "them; findings dedup to distinct bugs by explaining signature.")
+    guided.add_argument("--guided", action="store_true",
+                        help="run a coverage-guided campaign against "
+                             "--corpus-dir instead of the blind loop")
+    guided.add_argument("--shard", default=None, metavar="I/N",
+                        help="evaluate only candidate indices congruent "
+                             "to I mod N (guided; shard corpora merge "
+                             "byte-for-byte via --merge)")
+    guided.add_argument("--resume", action="store_true",
+                        help="continue the campaign from the corpus "
+                             "directory's stored cursor (guided)")
+    guided.add_argument("--merge", action="append", default=None,
+                        metavar="SRC",
+                        help="merge this shard corpus into --corpus-dir "
+                             "(repeatable; no campaign is run)")
+    guided.add_argument("--minimise-corpus", action="store_true",
+                        help="greedily prune --corpus-dir seeds whose "
+                             "coverage is subsumed (no campaign is run)")
     parser.add_argument("--save-known", action="store_true",
                         help="also write minimized known-cause divergence "
                              "cases to the corpus directory")
@@ -160,6 +184,60 @@ def fuzz_main(argv: list[str]) -> int:
     from repro.robust import DEFAULT_FUZZ_BUDGET
 
     budget = _budget_from(args) or DEFAULT_FUZZ_BUDGET
+
+    guided_mode = (args.guided or args.merge or args.minimise_corpus
+                   or args.shard or args.resume)
+    if guided_mode and args.corpus_dir is None:
+        parser.error("--guided/--shard/--resume/--merge/"
+                     "--minimise-corpus require --corpus-dir")
+    if (args.shard or args.resume) and not args.guided:
+        parser.error("--shard/--resume only apply to --guided campaigns")
+
+    if args.merge:
+        from repro.fuzz import merge_corpus_dirs
+        stats = merge_corpus_dirs(args.corpus_dir, args.merge)
+        print(f"merged {len(args.merge)} shard corpora into "
+              f"{args.corpus_dir}: +{stats['seeds']} seed(s), "
+              f"+{stats['bugs']} distinct bug(s), "
+              f"+{stats['witnesses']} witness(es)")
+        return 0
+
+    if args.minimise_corpus:
+        from repro.fuzz import minimise_corpus
+        kept, removed = minimise_corpus(args.corpus_dir)
+        print(f"minimised {args.corpus_dir}: kept {len(kept)} seed(s), "
+              f"removed {len(removed)} subsumed seed(s)")
+        return 0
+
+    if args.guided:
+        from repro.fuzz import CampaignError, parse_shard, run_campaign
+        from repro.reporting.tables import render_campaign_summary
+
+        def campaign_progress(count: int, report) -> None:
+            if not args.quiet and count % 25 == 0:
+                print(f"  ... {count} candidates, "
+                      f"{len(report.new_seeds)} new seeds, "
+                      f"{len(report.new_bugs)} new distinct bugs so far",
+                      file=sys.stderr)
+
+        try:
+            report = run_campaign(
+                seed=args.seed,
+                iterations=args.iterations,
+                time_budget=args.time_budget,
+                corpus_dir=args.corpus_dir,
+                shard=parse_shard(args.shard) if args.shard else (0, 1),
+                resume=args.resume,
+                jobs=args.jobs,
+                use_cache=use_cache,
+                budget=budget,
+                evaluator=evaluator,
+                progress=campaign_progress)
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_campaign_summary(report), end="")
+        return 0 if report.ok else 1
 
     def progress(index: int, report) -> None:
         if not args.quiet and index % 25 == 0:

@@ -19,20 +19,52 @@ whole implementation registry:
 * :mod:`repro.fuzz.evidence` -- trace evidence for findings: the
   reference's explaining event (attached to every finding) and the
   "same explaining event" shrink predicate ingredient;
-* :mod:`repro.fuzz.corpus` -- the ``tests/corpus/`` regression corpus:
-  minimized cases with their recorded per-implementation outcomes,
-  replayed by pytest on every run;
-* :mod:`repro.fuzz.driver` -- the iteration loop behind
-  ``repro fuzz --seed N --iterations K --time-budget S``.
+* :mod:`repro.fuzz.corpus` -- the ``tests/corpus/`` regression corpus
+  (minimized cases with recorded per-implementation outcomes, replayed
+  by pytest) and the campaign corpus stores (coverage-advancing seeds,
+  distinct-bug finding records, merge and minimise);
+* :mod:`repro.fuzz.driver` -- the blind iteration loop behind
+  ``repro fuzz --seed N --iterations K --time-budget S``;
+* :mod:`repro.fuzz.coverage` -- the coverage signal (Core op ids, UB
+  kinds, event signatures) distilled from one traced reference run;
+* :mod:`repro.fuzz.mutate` -- AST-level mutation of corpus seeds
+  (splice, perturbation, and the CRuby-porting pointer-tagging /
+  union-round-trip templates);
+* :mod:`repro.fuzz.campaign` -- the coverage-guided campaign engine
+  behind ``repro fuzz --guided --corpus-dir DIR --shard i/n --resume``:
+  resumable, deterministically shardable, distinct-bug deduplicated.
 """
 
-from repro.fuzz.corpus import CorpusCase, load_case, load_corpus, save_case
+from repro.fuzz.campaign import (
+    CampaignError,
+    CampaignReport,
+    derive_candidate,
+    parse_shard,
+    run_campaign,
+    take_snapshot,
+)
+from repro.fuzz.corpus import (
+    CorpusCase,
+    FindingRecord,
+    SeedEntry,
+    atomic_write_text,
+    load_case,
+    load_corpus,
+    load_findings,
+    load_seed_corpus,
+    merge_corpus_dirs,
+    minimise_corpus,
+    save_case,
+    save_seed,
+)
+from repro.fuzz.coverage import Coverage, coverage_from_events, coverage_of
 from repro.fuzz.driver import (
     FuzzReport,
     iteration_seed,
     program_for,
     run_fuzz,
 )
+from repro.fuzz.mutate import mutate
 from repro.fuzz.evidence import (
     capture_trace,
     reference_evidence,
@@ -50,25 +82,43 @@ from repro.fuzz.oracle import (
 from repro.fuzz.shrinker import shrink
 
 __all__ = [
+    "CampaignError",
+    "CampaignReport",
     "Cause",
     "CorpusCase",
+    "Coverage",
     "Divergence",
     "FUZZ_TARGETS",
+    "FindingRecord",
     "FuzzProgram",
     "FuzzReport",
     "FuzzStmt",
     "ProgramGenerator",
     "ProgramVerdict",
+    "SeedEntry",
+    "atomic_write_text",
     "capture_trace",
+    "coverage_from_events",
+    "coverage_of",
+    "derive_candidate",
     "evaluate_program",
     "iteration_seed",
     "load_case",
     "load_corpus",
+    "load_findings",
+    "load_seed_corpus",
+    "merge_corpus_dirs",
+    "minimise_corpus",
+    "mutate",
     "outcome_signature",
+    "parse_shard",
     "program_for",
     "reference_evidence",
     "reference_signature",
+    "run_campaign",
     "run_fuzz",
     "save_case",
+    "save_seed",
     "shrink",
+    "take_snapshot",
 ]

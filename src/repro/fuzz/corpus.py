@@ -1,27 +1,75 @@
-"""The regression corpus: minimized fuzz cases replayed by pytest.
+"""Corpora: the pytest regression corpus and the campaign seed corpus.
 
-Each corpus entry is one JSON file under ``tests/corpus/`` recording a
-minimized program, the divergence cause that made it interesting, and
-the expected outcome (``Outcome.describe()`` form) on every registered
-implementation it was classified against.  The pytest replayer
-(``tests/test_corpus_replay.py``) re-runs every file on every recorded
-implementation and fails if any outcome shifts -- so semantics changes
-that would silently alter fuzz classifications fail loudly, the same
-way the golden reports guard the S5 numbers.
+Two kinds of persistent state live here, both JSON-on-disk with
+deterministic ordering and **atomic, fsynced writes** (write to a temp
+file in the destination directory, ``os.fsync``, ``os.replace`` --
+the :mod:`repro.perf.disk` publication pattern), so a killed campaign
+can never leave a truncated file that poisons ``--resume``:
 
-File names embed a content hash, making saves idempotent and collisions
-impossible across fuzz runs.
+* **Regression cases** (:class:`CorpusCase`): minimized fuzz findings
+  under ``tests/corpus/``, each recording a program, the divergence
+  cause, the expected outcome on every implementation it was classified
+  against, and (since the guided-campaign work) the reference trace's
+  *explaining signature* -- so the replayer pins not just *what* every
+  implementation does but *why* the reference behaved as it did.
+
+* **Campaign corpora**: a guided campaign directory holds
+  ``seeds/<name>.json`` (coverage-advancing programs: the statement IR,
+  its render, and the coverage fingerprint that earned admission),
+  ``findings/<digest>.json`` (one file per *distinct bug*, keyed by the
+  explainer's explaining signature, holding every witness program), and
+  ``state.json`` (the scheduler's resume cursor).  Entry file names are
+  content addresses (sha256 of the rendered source), and no payload
+  records run order or shard identity -- which is what makes shard
+  corpora merge byte-for-byte into the unsharded campaign's corpus.
+
+Readers of campaign state treat every damaged file as absent (the
+:class:`~repro.perf.disk.DiskCache` reader contract): a corrupt seed is
+skipped, a corrupt finding re-discovered.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass, field
 
+from repro.fuzz.coverage import Coverage
+from repro.fuzz.generator import FuzzProgram
 from repro.impls.registry import by_name
 
+
+def atomic_write_text(path: pathlib.Path | str, text: str) -> pathlib.Path:
+    """Publish ``text`` at ``path`` via temp file + fsync + atomic
+    rename.  A reader (or a resumed campaign) sees either the complete
+    file or no file, never a torn one."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Regression cases (tests/corpus/)
 
 @dataclass
 class CorpusCase:
@@ -33,17 +81,23 @@ class CorpusCase:
     expectations: dict[str, str] = field(default_factory=dict)
     seed: int | None = None
     note: str = ""
+    #: The reference trace's explaining signature (the distinct-bug
+    #: dedup key), as a plain list for JSON; ``None`` on legacy entries.
+    explaining: list | None = None
 
     @classmethod
     def from_outcomes(cls, cause: str, source: str, outcomes,
-                      seed: int | None = None, note: str = "") -> "CorpusCase":
+                      seed: int | None = None, note: str = "",
+                      explaining=None) -> "CorpusCase":
         """Build a case from ``{impl_name: Outcome}`` as recorded by the
         oracle (insertion order preserved, no set iteration)."""
         expectations = {name: outcome.describe()
                         for name, outcome in outcomes.items()}
         digest = hashlib.sha256(source.encode()).hexdigest()[:10]
         return cls(name=f"{cause}-{digest}", cause=cause, source=source,
-                   expectations=expectations, seed=seed, note=note)
+                   expectations=expectations, seed=seed, note=note,
+                   explaining=list(explaining) if explaining is not None
+                   else None)
 
     def replay(self) -> list[tuple[str, str, str]]:
         """Re-run on every recorded implementation.
@@ -62,7 +116,6 @@ class CorpusCase:
 
 def save_case(directory: pathlib.Path | str, case: CorpusCase) -> pathlib.Path:
     directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{case.name}.json"
     payload = {
         "name": case.name,
@@ -72,8 +125,9 @@ def save_case(directory: pathlib.Path | str, case: CorpusCase) -> pathlib.Path:
         "source": case.source,
         "expectations": dict(sorted(case.expectations.items())),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
-                    encoding="utf-8")
+    if case.explaining is not None:
+        payload["explaining"] = case.explaining
+    atomic_write_text(path, _dump(payload))
     return path
 
 
@@ -86,6 +140,7 @@ def load_case(path: pathlib.Path | str) -> CorpusCase:
         expectations=dict(payload["expectations"]),
         seed=payload.get("seed"),
         note=payload.get("note", ""),
+        explaining=payload.get("explaining"),
     )
 
 
@@ -94,3 +149,236 @@ def load_corpus(directory: pathlib.Path | str) -> list[CorpusCase]:
     if not directory.is_dir():
         return []
     return [load_case(path) for path in sorted(directory.glob("*.json"))]
+
+
+# ---------------------------------------------------------------------------
+# Campaign seed corpus (DIR/seeds/)
+
+def source_digest(source: str) -> str:
+    """The content address of one program (12 hex chars of sha256)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class SeedEntry:
+    """One coverage-advancing program in a campaign corpus.
+
+    Deliberately carries nothing run-order- or shard-dependent: the
+    name is a content address and the payload is a pure function of
+    ``(program, campaign seed)``, so every shard that discovers this
+    program writes byte-identical bytes (idempotent publication)."""
+
+    name: str
+    seed: int
+    program: FuzzProgram
+    source: str
+    coverage: Coverage
+
+    @classmethod
+    def from_program(cls, program: FuzzProgram, seed: int,
+                     coverage: Coverage) -> "SeedEntry":
+        source = program.render()
+        return cls(name=f"seed-{source_digest(source)}", seed=seed,
+                   program=program, source=source, coverage=coverage)
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "source": self.source,
+            "program": self.program.to_dict(),
+            "coverage": self.coverage.to_dict(),
+        }
+
+
+def seeds_dir(directory: pathlib.Path | str) -> pathlib.Path:
+    return pathlib.Path(directory) / "seeds"
+
+
+def save_seed(directory: pathlib.Path | str,
+              entry: SeedEntry) -> pathlib.Path:
+    path = seeds_dir(directory) / f"{entry.name}.json"
+    atomic_write_text(path, _dump(entry.to_payload()))
+    return path
+
+
+def load_seed(path: pathlib.Path | str) -> SeedEntry | None:
+    """One seed entry, or ``None`` on *any* failure -- a corrupt or
+    truncated file reads as absent, never as a crash."""
+    try:
+        payload = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+        program = FuzzProgram.from_dict(payload["program"])
+        return SeedEntry(
+            name=payload["name"],
+            seed=int(payload["seed"]),
+            program=program,
+            source=payload["source"],
+            coverage=Coverage.from_dict(payload.get("coverage", {})))
+    except Exception:                        # noqa: BLE001 - reader contract
+        return None
+
+
+def load_seed_corpus(directory: pathlib.Path | str) -> list[SeedEntry]:
+    """Every readable seed entry, in deterministic (file name) order."""
+    root = seeds_dir(directory)
+    if not root.is_dir():
+        return []
+    entries = (load_seed(path) for path in sorted(root.glob("*.json")))
+    return [entry for entry in entries if entry is not None]
+
+
+# ---------------------------------------------------------------------------
+# Distinct-bug findings (DIR/findings/)
+
+def signature_digest(signature) -> str:
+    """The content address of one explaining signature."""
+    payload = json.dumps(
+        list(signature) if signature is not None else None,
+        sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class FindingRecord:
+    """One *distinct bug*: an explaining signature plus every witness.
+
+    ``witnesses`` maps the witness program's source digest to its
+    payload (source, IR, and the oracle observations that flagged it).
+    Witness payloads are pure functions of the program, so merging
+    shard findings is a plain union."""
+
+    signature: list | None
+    digest: str
+    witnesses: dict = field(default_factory=dict)
+
+    @classmethod
+    def fresh(cls, signature) -> "FindingRecord":
+        return cls(signature=list(signature) if signature is not None
+                   else None,
+                   digest=signature_digest(signature))
+
+    def to_payload(self) -> dict:
+        return {
+            "signature": self.signature,
+            "digest": self.digest,
+            "witnesses": {key: self.witnesses[key]
+                          for key in sorted(self.witnesses)},
+        }
+
+
+def findings_dir(directory: pathlib.Path | str) -> pathlib.Path:
+    return pathlib.Path(directory) / "findings"
+
+
+def save_finding(directory: pathlib.Path | str,
+                 record: FindingRecord) -> pathlib.Path:
+    path = findings_dir(directory) / f"{record.digest}.json"
+    atomic_write_text(path, _dump(record.to_payload()))
+    return path
+
+
+def load_finding(path: pathlib.Path | str) -> FindingRecord | None:
+    try:
+        payload = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+        return FindingRecord(signature=payload["signature"],
+                             digest=payload["digest"],
+                             witnesses=dict(payload["witnesses"]))
+    except Exception:                        # noqa: BLE001 - reader contract
+        return None
+
+
+def load_findings(directory: pathlib.Path | str) -> list[FindingRecord]:
+    root = findings_dir(directory)
+    if not root.is_dir():
+        return []
+    records = (load_finding(path) for path in sorted(root.glob("*.json")))
+    return [record for record in records if record is not None]
+
+
+def record_witness(directory: pathlib.Path | str, signature,
+                   witness: dict) -> tuple[FindingRecord, bool, bool]:
+    """Fold one witness into the finding keyed by ``signature``.
+
+    Read-modify-write against the published file (atomic publication,
+    so a concurrent or killed writer can only lose the *update*, never
+    corrupt the record).  Returns ``(record, new_bug, new_witness)``.
+    """
+    digest = signature_digest(signature)
+    path = findings_dir(directory) / f"{digest}.json"
+    record = load_finding(path)
+    new_bug = record is None
+    if record is None:
+        record = FindingRecord.fresh(signature)
+    key = source_digest(witness["source"])
+    new_witness = key not in record.witnesses
+    record.witnesses[key] = witness
+    save_finding(directory, record)
+    return record, new_bug, new_witness
+
+
+# ---------------------------------------------------------------------------
+# Merge and minimise
+
+def merge_corpus_dirs(dest: pathlib.Path | str,
+                      sources) -> dict:
+    """Union shard corpora into ``dest``.
+
+    Seeds are re-published through the normal writer (idempotent:
+    identical names carry identical payloads), findings are unioned
+    witness-by-witness, and the resume cursors -- which every shard of
+    one campaign window agrees on -- are canonicalised to the unsharded
+    ``[0, 1]`` shard, so a merged corpus is byte-for-byte the corpus
+    the unsharded campaign would have written.
+    """
+    from repro.fuzz.campaign import merge_states  # cycle: state lives there
+
+    dest = pathlib.Path(dest)
+    stats = {"seeds": 0, "bugs": 0, "witnesses": 0}
+    states = []
+    for source in sources:
+        source = pathlib.Path(source)
+        for entry in load_seed_corpus(source):
+            path = seeds_dir(dest) / f"{entry.name}.json"
+            if not path.exists():
+                stats["seeds"] += 1
+            save_seed(dest, entry)
+        for record in load_findings(source):
+            for witness in record.witnesses.values():
+                _, new_bug, new_witness = record_witness(
+                    dest, record.signature, witness)
+                stats["bugs"] += int(new_bug)
+                stats["witnesses"] += int(new_witness)
+        states.append(source)
+    merge_states(dest, states)
+    return stats
+
+
+def minimise_corpus(directory: pathlib.Path | str,
+                    ) -> tuple[list[SeedEntry], list[SeedEntry]]:
+    """Greedy set-cover pruning of a seed corpus.
+
+    Entries are visited shortest-first (then by name) and kept only
+    when they contribute coverage keys no kept entry already has; the
+    rest are deleted from disk.  Deterministic, and **never** run
+    implicitly during a campaign -- pruning changes the snapshot later
+    invocations mutate from, so it is an explicit operator action
+    (``repro fuzz --minimise-corpus``).  Returns ``(kept, removed)``.
+    """
+    entries = sorted(load_seed_corpus(directory),
+                     key=lambda e: (len(e.program.stmts), e.name))
+    covered: set = set()
+    kept, removed = [], []
+    for entry in entries:
+        keys = entry.coverage.keys()
+        if keys - covered:
+            covered |= keys
+            kept.append(entry)
+        else:
+            removed.append(entry)
+            try:
+                (seeds_dir(directory) / f"{entry.name}.json").unlink()
+            except OSError:
+                pass
+    return kept, removed

@@ -350,9 +350,11 @@ def run_fuzz(seed: int = 0,
                              budget=budget).outcomes)
 
     if trace_dir is not None:
-        directory = pathlib.Path(trace_dir)
-        directory.mkdir(parents=True, exist_ok=True)
+        import json as _json
+
+        from repro.fuzz.corpus import atomic_write_text
         from repro.fuzz.evidence import capture_trace
+        directory = pathlib.Path(trace_dir)
         for group in report.findings:
             if group.minimized_source is None:
                 continue
@@ -360,23 +362,29 @@ def run_fuzz(seed: int = 0,
             stem = f"{group.impl_name}-{group.cause.value}".replace(
                 ":", "_").replace("/", "_")
             path = directory / f"{stem}.jsonl"
-            recorder.write_jsonl(path)
-            (directory / f"{stem}.c").write_text(group.minimized_source,
-                                                 encoding="utf-8")
+            # Same publication discipline as the corpus stores: a
+            # killed run leaves whole artefacts or none, never torn.
+            atomic_write_text(path, "".join(
+                _json.dumps(event) + "\n" for event in recorder.dicts()))
+            atomic_write_text(directory / f"{stem}.c",
+                              group.minimized_source)
             report.trace_paths.append(path)
 
     if corpus_dir is not None:
+        from repro.fuzz.evidence import reference_signature
         for group in report.sorted_groups():
             if not (group.is_finding or save_known):
                 continue
             if group.minimized_source is None:
                 continue
+            explaining = reference_signature(group.minimized_source)
             case = CorpusCase.from_outcomes(
                 cause=group.cause.value, source=group.minimized_source,
                 outcomes=group.minimized_outcomes, seed=seed,
                 note=(f"{group.impl_name}: {group.reference_kind} -> "
                       f"{group.observed_kind}, seen x{group.count} "
-                      f"(seed {seed})"))
+                      f"(seed {seed})"),
+                explaining=explaining)
             report.corpus_paths.append(save_case(corpus_dir, case))
 
     report.elapsed = time.monotonic() - started

@@ -54,6 +54,15 @@ class FuzzStmt:
         slots[index] = value
         return replace(self, slots=tuple(slots))
 
+    def to_dict(self) -> dict:
+        return {"tag": self.tag, "template": self.template,
+                "slots": list(self.slots)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzStmt":
+        return cls(tag=payload["tag"], template=payload["template"],
+                   slots=tuple(int(s) for s in payload.get("slots", ())))
+
 
 @dataclass(frozen=True)
 class FuzzProgram:
@@ -70,6 +79,8 @@ class FuzzProgram:
             "#include <stdlib.h>",
             "#include <cheriintrin.h>",
             "struct pair { int x; int *q; };",
+            "union upack { int *q; uintptr_t bits; "
+            "unsigned char bytes[16]; };",
             "int main(void) {",
             f"  int a[{self.arr_len}];",
             f"  for (int i = 0; i < {self.arr_len}; i++) a[i] = i + 1;",
@@ -82,6 +93,8 @@ class FuzzProgram:
             "  s.q = a;",
             "  uintptr_t u = (uintptr_t)p;",
             "  intptr_t ip = (intptr_t)p;",
+            "  union upack w;",
+            "  w.q = a;",
             "  int acc = 0;",
         ]
         lines.extend(stmt.render() for stmt in self.stmts)
@@ -98,6 +111,19 @@ class FuzzProgram:
         stmts = list(self.stmts)
         stmts[index] = stmt
         return replace(self, stmts=tuple(stmts))
+
+    def to_dict(self) -> dict:
+        """JSON form (the corpus persists the IR, not just the render,
+        so mutation can splice stored seeds structurally)."""
+        return {"arr_len": self.arr_len, "heap_len": self.heap_len,
+                "stmts": [s.to_dict() for s in self.stmts]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzProgram":
+        return cls(arr_len=int(payload["arr_len"]),
+                   heap_len=int(payload["heap_len"]),
+                   stmts=tuple(FuzzStmt.from_dict(s)
+                               for s in payload.get("stmts", ())))
 
 
 class ProgramGenerator:

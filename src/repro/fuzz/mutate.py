@@ -1,0 +1,195 @@
+"""AST-level mutation of corpus seeds (the guided half of the fuzzer).
+
+Blind generation draws every program from the same weighted grammar, so
+campaigns keep re-discovering the shallow behaviours near the grammar's
+centre of mass.  Guided campaigns instead *mutate* coverage-advancing
+seeds: the statement IR (:class:`~repro.fuzz.generator.FuzzProgram`)
+makes splice/insert/perturb well-typed by construction, exactly the way
+the shrinker's deletions are.
+
+Beyond structural mutations (splice with a donor seed, duplicate, swap,
+drop, prologue resize, integer-slot perturbation), the mutator extends
+the grammar toward the shapes the CRuby-on-CHERI porting study
+(PAPERS.md, Liu et al.) reports as what actually bites real ports --
+pointer tagging in low bits, pointer packing, and int<->pointer round
+trips through unions.  These templates live *here* rather than in the
+blind generator so the coverage axis in ``bench_engine.py`` measures
+guidance against an honest baseline: guided campaigns reach them, blind
+ones cannot.
+
+Every choice is drawn from one :class:`random.Random` owned by the
+caller, so a campaign's candidate stream is a pure function of
+``(seed, index, corpus snapshot)`` -- the property shard determinism
+rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz.generator import FuzzProgram, FuzzStmt, MASKS, \
+    ProgramGenerator
+
+#: Hard cap on mutated statement count: splicing may grow programs (the
+#: point -- deeper runs reach higher Core op ids), but unboundedly long
+#: candidates would dominate campaign time.
+MAX_STMTS = 24
+
+#: The CRuby-porting shapes, as ready-made statements over the fixed
+#: prologue (``w`` is the ``union upack`` local, ``u`` the uintptr_t
+#: mirror).  Slots keep them shrinkable/perturbable like any other
+#: statement.
+_TEMPLATES = (
+    # int<->pointer round trip through a union: pointer out as bits...
+    FuzzStmt("union-pack", "w.q = p; u = w.bits;"),
+    # ...and bits back in as a pointer (tag survival is the question).
+    FuzzStmt("union-unpack",
+             "w.bits = u; p = w.q; acc += (int)cheri_tag_get(p);"),
+    # Low-bit pointer tagging (Ruby's fixnum/flag discipline).
+    FuzzStmt("ptr-tag-set", "u = (uintptr_t)p; u = u | {0}; p = (int *)u;",
+             (1,)),
+    FuzzStmt("ptr-tag-strip",
+             "u = u & ~(uintptr_t){0}; p = (int *)u;", (1,)),
+    # Pointer packing: arithmetic on the in-union representation.
+    FuzzStmt("union-bits-arith",
+             "w.q = p; w.bits = w.bits + {0}; p = w.q;", (4,)),
+    # Byte-level view of the packed representation.
+    FuzzStmt("union-byte", "w.q = p; acc += (int)w.bytes[{0}];", (1,)),
+)
+
+
+def _pick_donor(rng: random.Random, program: FuzzProgram,
+                pool) -> FuzzProgram:
+    if pool:
+        return pool[rng.randrange(len(pool))]
+    return program
+
+
+def _splice(rng: random.Random, program: FuzzProgram,
+            pool) -> FuzzProgram:
+    """Prefix of this program + suffix of a donor (AFL's splice)."""
+    donor = _pick_donor(rng, program, pool)
+    cut_a = rng.randint(0, len(program.stmts))
+    cut_b = rng.randint(0, len(donor.stmts))
+    stmts = (program.stmts[:cut_a] + donor.stmts[cut_b:])[:MAX_STMTS]
+    return FuzzProgram(arr_len=program.arr_len,
+                       heap_len=program.heap_len, stmts=stmts)
+
+
+def _perturb_slot(rng: random.Random, program: FuzzProgram,
+                  pool) -> FuzzProgram:
+    """Nudge one integer literal (the literal/arith/cast perturbation)."""
+    slotted = [i for i, s in enumerate(program.stmts) if s.slots]
+    if not slotted:
+        return program
+    index = rng.choice(slotted)
+    stmt = program.stmts[index]
+    slot = rng.randrange(len(stmt.slots))
+    value = stmt.slots[slot]
+    choice = rng.randrange(6)
+    if choice == 0:
+        value = value + rng.choice([-4, -1, 1, 4])
+    elif choice == 1:
+        value = -value
+    elif choice == 2:
+        value = value * 2
+    elif choice == 3:
+        value = rng.choice([0, 1, program.arr_len, program.arr_len + 1])
+    elif choice == 4:
+        value = rng.choice(MASKS)
+    else:
+        value = rng.choice([1, 2, 3, 7, 8, 15])
+    return program.with_stmt(index, stmt.with_slot(slot, value))
+
+
+def _insert_template(rng: random.Random, program: FuzzProgram,
+                     pool) -> FuzzProgram:
+    """Insert one CRuby-shape template statement."""
+    stmt = rng.choice(_TEMPLATES)
+    at = rng.randint(0, len(program.stmts))
+    stmts = (program.stmts[:at] + (stmt,) + program.stmts[at:])[:MAX_STMTS]
+    return FuzzProgram(arr_len=program.arr_len,
+                       heap_len=program.heap_len, stmts=stmts)
+
+
+def _insert_fresh(rng: random.Random, program: FuzzProgram,
+                  pool) -> FuzzProgram:
+    """Insert one freshly generated grammar statement."""
+    gen = ProgramGenerator(rng)
+    catalogue = gen._catalogue()
+    builders = [b for weight, b in catalogue for _ in range(weight)]
+    stmt = rng.choice(builders)(program.arr_len, program.heap_len)
+    at = rng.randint(0, len(program.stmts))
+    stmts = (program.stmts[:at] + (stmt,) + program.stmts[at:])[:MAX_STMTS]
+    return FuzzProgram(arr_len=program.arr_len,
+                       heap_len=program.heap_len, stmts=stmts)
+
+
+def _duplicate(rng: random.Random, program: FuzzProgram,
+               pool) -> FuzzProgram:
+    if not program.stmts or len(program.stmts) >= MAX_STMTS:
+        return program
+    index = rng.randrange(len(program.stmts))
+    stmts = (program.stmts[:index + 1] + program.stmts[index:])
+    return FuzzProgram(arr_len=program.arr_len,
+                       heap_len=program.heap_len, stmts=stmts[:MAX_STMTS])
+
+
+def _swap(rng: random.Random, program: FuzzProgram, pool) -> FuzzProgram:
+    if len(program.stmts) < 2:
+        return program
+    i = rng.randrange(len(program.stmts))
+    j = rng.randrange(len(program.stmts))
+    stmts = list(program.stmts)
+    stmts[i], stmts[j] = stmts[j], stmts[i]
+    return FuzzProgram(arr_len=program.arr_len,
+                       heap_len=program.heap_len, stmts=tuple(stmts))
+
+
+def _drop(rng: random.Random, program: FuzzProgram, pool) -> FuzzProgram:
+    if len(program.stmts) <= 1:
+        return program
+    index = rng.randrange(len(program.stmts))
+    return program.without_stmt(index)
+
+
+def _resize(rng: random.Random, program: FuzzProgram,
+            pool) -> FuzzProgram:
+    """Nudge a prologue length (bounds edges move under every index)."""
+    if rng.random() < 0.5:
+        arr = min(16, max(2, program.arr_len + rng.choice([-1, 1])))
+        return FuzzProgram(arr_len=arr, heap_len=program.heap_len,
+                           stmts=program.stmts)
+    heap = min(16, max(2, program.heap_len + rng.choice([-1, 1])))
+    return FuzzProgram(arr_len=program.arr_len, heap_len=heap,
+                       stmts=program.stmts)
+
+
+#: (weight, mutator) -- splice and the CRuby templates carry the most
+#: weight: growth and grammar extension are where guidance pays.
+_MUTATORS = (
+    (6, _splice),
+    (5, _perturb_slot),
+    (5, _insert_template),
+    (4, _insert_fresh),
+    (2, _duplicate),
+    (2, _swap),
+    (2, _drop),
+    (2, _resize),
+)
+
+
+def mutate(program: FuzzProgram, rng: random.Random,
+           pool=()) -> FuzzProgram:
+    """Derive one candidate from a seed program.
+
+    Applies 1-3 weighted mutations; ``pool`` is the corpus snapshot's
+    program list (splice donors).  Pure in ``rng``: the same seed state
+    and arguments produce the same candidate on every platform.
+    """
+    weighted = [m for weight, m in _MUTATORS for _ in range(weight)]
+    for _ in range(rng.randint(1, 3)):
+        program = rng.choice(weighted)(rng, program, pool)
+    if not program.stmts:
+        return _insert_fresh(rng, program, pool)
+    return program

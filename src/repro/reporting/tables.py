@@ -103,6 +103,42 @@ def render_fuzz_summary(report) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_campaign_summary(report) -> str:
+    """Summary of one guided-campaign invocation (``repro fuzz
+    --guided``): window, corpus growth, coverage, and distinct bugs."""
+    shard = f"{report.shard[0]}/{report.shard[1]}"
+    lines = [f"Guided fuzz campaign: seed {report.seed}, shard {shard}, "
+             f"window {report.start_index}..{report.next_index} "
+             f"({report.processed} candidates, {report.elapsed:.1f}s)"]
+    derived = ", ".join(f"{report.derived.get(k, 0)} {k}"
+                        for k in ("fresh", "mutant"))
+    lines.append(f"  candidates: {derived}"
+                 + (f", {len(report.quarantined)} quarantined"
+                    if report.quarantined else ""))
+    lines.append(f"  corpus: {report.corpus_size} seed(s) "
+                 f"(+{len(report.new_seeds)} new) at {report.corpus_dir}")
+    lines.append(f"  coverage: {len(report.covered.ops)} core ops, "
+                 f"{len(report.covered.ub)} UB kinds, "
+                 f"{len(report.covered.events)} event signatures "
+                 f"(+{report.new_keys} keys beyond the snapshot)")
+    if report.reference_counts:
+        counts = ", ".join(f"{report.reference_counts[k]} {k}"
+                           for k in sorted(report.reference_counts))
+        lines.append(f"  reference outcomes: {counts}")
+    if report.findings:
+        total = sum(len(f.witnesses) for f in report.findings)
+        lines.append(f"!! {len(report.findings)} distinct bug(s) on "
+                     f"record ({total} witness(es), "
+                     f"{len(report.new_bugs)} new this run):")
+        for record in report.findings:
+            lines.append(f"  {record.digest}  signature="
+                         f"{record.signature}  "
+                         f"x{len(record.witnesses)} witness(es)")
+    else:
+        lines.append("  distinct bugs: none on record")
+    return "\n".join(lines) + "\n"
+
+
 def render_failures(reports) -> str:
     """Detail lines for any expectation failures (normally empty)."""
     lines = []

@@ -18,6 +18,7 @@ import pathlib
 import pytest
 
 from repro.fuzz.corpus import load_corpus
+from repro.fuzz.evidence import reference_signature
 from repro.fuzz.oracle import Cause
 from repro.impls.registry import by_name
 
@@ -49,3 +50,19 @@ def test_corpus_case_is_well_formed(case):
         by_name(impl_name)
     # The name embeds the cause, matching the on-disk filename scheme.
     assert case.name.startswith(case.cause)
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_explaining_signature_holds(case):
+    """Each case carries the reference trace's explaining signature
+    (the guided campaign's distinct-bug dedup key), and re-tracing the
+    program still produces it -- semantics changes that silently alter
+    *why* the reference behaves as recorded fail here."""
+    assert case.explaining is not None, \
+        f"{case.name}: regenerate the corpus to record its signature"
+    signature = reference_signature(case.source)
+    recorded = list(case.explaining)
+    observed = list(signature) if signature is not None else None
+    assert observed == recorded, \
+        f"{case.name}: recorded explaining signature {recorded}, " \
+        f"now {observed}"
