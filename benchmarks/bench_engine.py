@@ -23,7 +23,13 @@ at the repository root:
   programs, measured as distinct Core ops covered per 1k programs.
   Guided must reach **>= 1.2x** the blind op coverage; below the
   minimum campaign size the gate is skipped and the entry records why
-  (``coverage_gate_skipped_reason``).
+  (``coverage_gate_skipped_reason``);
+* the allocator-policy axis (ISSUE 10) -- the compare grid re-run
+  under the ``freelist`` and ``quarantine`` policies after a ``bump``
+  warm-up.  Compile identity is policy-independent, so the warm grid
+  must perform **zero additional frontend compiles** and keep the
+  compile-layer hit rates: a policy axis that invalidated compile
+  caches would multiply every grid's cost by the policy count.
 
 Every phase runs against its own fresh temporary disk-cache directory,
 so the numbers are honest cold/warm measurements and the benchmark
@@ -177,6 +183,41 @@ def bench_warm_start(cases, disk_base):
         "disk_hit_rate": round(stats.disk.hit_rate, 4),
         "compile_cache": stats.to_dict(),
     }
+    return reports, timings
+
+
+def bench_allocator_grid(cases, disk_base):
+    """The allocator-policy axis (ISSUE 10): the compare grid under
+    each policy, sharing one compile-cache population.
+
+    A ``bump`` run warms every cache layer; the ``freelist`` and
+    ``quarantine`` grids then re-run over the same caches.  Because the
+    allocator is a run-only axis (absent from compile/disk keys), the
+    whole policy grid must be served from the already-warm compile
+    layers: ``compiles_performed`` must not grow at all.
+    """
+    from repro.impls import with_allocator
+
+    fresh_disk(disk_base, "allocator-grid")
+    clear_cache()
+    reports = {}
+    timings = {}
+    _, t_bump = timed(lambda: compare_implementations(
+        ALL_IMPLEMENTATIONS, cases, jobs=1, use_cache=True))
+    timings["bump_s"] = round(t_bump, 4)
+    compiles_after_bump = global_cache().stats.compiles_performed
+    for policy in ("freelist", "quarantine"):
+        grid = tuple(with_allocator(impl, policy)
+                     for impl in ALL_IMPLEMENTATIONS)
+        report, elapsed = timed(lambda: compare_implementations(
+            grid, cases, jobs=1, use_cache=True))
+        reports[policy] = render_compliance(report)
+        timings[f"{policy}_s"] = round(elapsed, 4)
+    stats = global_cache().stats
+    timings["compiles_after_bump"] = compiles_after_bump
+    timings["policy_grid_extra_compiles"] = \
+        stats.compiles_performed - compiles_after_bump
+    timings["compile_cache"] = stats.to_dict()
     return reports, timings
 
 
@@ -391,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
         compare_reports, compare_timings = bench_compare(
             cases, jobs, disk_base)
         warm_reports, warm_timings = bench_warm_start(cases, disk_base)
+        _allocator_reports, allocator_timings = bench_allocator_grid(
+            cases, disk_base)
         fuzz_signatures, fuzz_timings = bench_fuzz(
             seed=0, iterations=fuzz_iterations, jobs=jobs,
             shrink_budget=shrink_budget, disk_base=disk_base)
@@ -429,6 +472,16 @@ def main(argv: list[str] | None = None) -> int:
               f"{warm_timings['compiles_performed']} compiles "
               f"(expected 0: every Core program should come from disk)",
               file=sys.stderr)
+        ok = False
+    # Allocator-grid gate (ISSUE 10): the policy axis is run-only, so
+    # the freelist/quarantine grids must add zero frontend compiles
+    # over the bump warm-up -- compile layers are shared across the
+    # whole policy grid.
+    if allocator_timings["policy_grid_extra_compiles"] != 0:
+        print(f"FAIL: allocator-policy grid performed "
+              f"{allocator_timings['policy_grid_extra_compiles']} extra "
+              f"compiles (expected 0: compile identity is "
+              f"policy-independent)", file=sys.stderr)
         ok = False
     for other in ("core", "compiled"):
         if evaluator_reports[other] != evaluator_reports["ast"]:
@@ -498,6 +551,7 @@ def main(argv: list[str] | None = None) -> int:
         "implementations": len(ALL_IMPLEMENTATIONS),
         "compare": compare_timings,
         "warm_start": warm_timings,
+        "allocator_grid": allocator_timings,
         "fuzz": fuzz_timings,
         "evaluator": evaluator_timings,
         "coverage": coverage_timings,
@@ -519,6 +573,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({warm_timings['speedup_warm']}x), "
           f"{warm_timings['compiles_performed']} compiles, disk hit "
           f"rate {warm_timings['disk_hit_rate']}")
+    print(f"allocator grid: bump {allocator_timings['bump_s']}s, "
+          f"freelist {allocator_timings['freelist_s']}s, quarantine "
+          f"{allocator_timings['quarantine_s']}s, "
+          f"{allocator_timings['policy_grid_extra_compiles']} extra "
+          f"compiles")
     print(f"fuzz: serial {fuzz_timings['serial_programs_per_s']} "
           f"programs/s, parallel "
           f"{fuzz_timings['parallel_programs_per_s']} programs/s "

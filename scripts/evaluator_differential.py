@@ -21,6 +21,12 @@ exit codes, stdout, UB catalogue entries, step-metered budget cutoffs,
 divergence grouping, and shrinker results all feed those renderings, so
 a single differing byte fails the gate.
 
+It additionally pins the ``--allocator bump`` identity: running the S5
+grid and the fuzz campaign with an *explicit* ``bump`` allocator
+override (the way ``repro compare --allocator bump`` builds them) must
+be byte-identical to the default renderings -- the default allocator
+axis is inert, so the pre-policy goldens all stand.
+
 ``FuzzReport.elapsed`` is wall-clock and is the one intentionally
 nondeterministic field in the rendering; it is normalised to zero on
 every report before comparison.
@@ -57,6 +63,44 @@ def fuzz_rendering(evaluator: str, jobs: int, seed: int,
     # Wall-clock is the only nondeterministic field in the rendering.
     report.elapsed = 0.0
     return render_fuzz_summary(report)
+
+
+def bump_override_check(seed: int, iterations: int) -> bool:
+    """``--allocator bump`` (the default policy made explicit) must
+    change nothing: byte-identical S5 compliance and fuzz reports."""
+    from repro.fuzz.oracle import FUZZ_TARGETS, allocator_fuzz_targets
+    from repro.impls import with_allocator
+
+    grid = tuple(with_allocator(impl, "bump")
+                 for impl in ALL_IMPLEMENTATIONS)
+    suite = render_compliance(compare_implementations(grid, jobs=1))
+    baseline = render_compliance(
+        compare_implementations(ALL_IMPLEMENTATIONS, jobs=1))
+    ok = True
+    if suite != baseline:
+        ok = False
+        print("  --allocator bump: S5 COMPLIANCE REPORT DIFFERS")
+        sys.stdout.writelines(difflib.unified_diff(
+            baseline.splitlines(keepends=True),
+            suite.splitlines(keepends=True),
+            fromfile="S5 [default]", tofile="S5 [--allocator bump]"))
+
+    # The CLI's --allocator bump target construction: the identity
+    # policy contributes no extra targets and leaves heap_reuse off.
+    targets = FUZZ_TARGETS + allocator_fuzz_targets("bump")
+    report = run_fuzz(seed=seed, iterations=iterations, jobs=1,
+                      targets=targets, heap_reuse=False)
+    report.elapsed = 0.0
+    fuzz = render_fuzz_summary(report)
+    base_report = run_fuzz(seed=seed, iterations=iterations, jobs=1)
+    base_report.elapsed = 0.0
+    if fuzz != render_fuzz_summary(base_report):
+        ok = False
+        print("  --allocator bump: FUZZ REPORT DIFFERS")
+    if ok:
+        print(f"  --allocator bump: byte-identical to the default "
+              f"renderings ({len(baseline)} + {len(fuzz)} bytes)")
+    return ok
 
 
 def check_pair(label: str, by_evaluator: dict[str, str]) -> bool:
@@ -107,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
             f"fuzz report (seed {args.seed}, "
             f"{args.fuzz_iterations} programs), {arm}", fuzzes)
         print(f"  [{arm} arm: {time.monotonic() - started:.1f}s]")
+    ok &= bump_override_check(args.seed, min(args.fuzz_iterations, 50))
     print("evaluator-differential: "
           + ("PASS" if ok else "FAIL (evaluators disagree)"))
     return 0 if ok else 1

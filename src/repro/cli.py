@@ -17,6 +17,8 @@ Usage::
     repro trace test.c --jsonl out.jsonl --metrics
     repro run test.c --dump-core     # print the elaborated Core IR
     repro suite --evaluator ast      # run on the recursive AST walker
+    repro compare --allocator freelist   # the grid over reusing heaps
+    repro fuzz --allocator freelist --seed 0   # + allocator targets
 
 ``--jobs N`` fans runs across N worker processes (0 = all cores) with
 results stitched back in input order, so reports are bit-identical to
@@ -63,6 +65,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "or the direct-threaded compiled backend "
                              "(default: compiled; all three are held "
                              "byte-identical by the differential gate)")
+    parser.add_argument("--allocator",
+                        choices=("bump", "freelist", "quarantine"),
+                        default=None,
+                        help="heap allocator policy override: bump "
+                             "(never reuse; the default), freelist "
+                             "(freed addresses recycle -- use-after-free "
+                             "aliasing), or quarantine (FIFO-delayed "
+                             "reuse, CHERIoT-style); run/suite/compare "
+                             "re-run the selection under the policy, "
+                             "fuzz adds policy targets to the grid")
     budgets = parser.add_argument_group(
         "resource budgets",
         "per-run limits (docs/ROBUSTNESS.md); a run over budget ends "
@@ -81,6 +93,15 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     budgets.add_argument("--deadline", type=float, default=None,
                          metavar="SECONDS",
                          help="wall-clock limit per run")
+
+
+def _allocator_override(args, impl):
+    """``impl`` under the ``--allocator`` policy (None = unchanged)."""
+    policy = getattr(args, "allocator", None)
+    if policy is None:
+        return impl
+    from repro.impls import with_allocator
+    return with_allocator(impl, policy)
 
 
 def _budget_from(args):
@@ -185,6 +206,18 @@ def fuzz_main(argv: list[str]) -> int:
 
     budget = _budget_from(args) or DEFAULT_FUZZ_BUDGET
 
+    # --allocator POLICY extends the differential grid with targets
+    # running that heap-reuse policy and switches on the generator's
+    # heap-reuse statement shapes so the axis is actually exercised.
+    from repro.fuzz.oracle import FUZZ_TARGETS, allocator_fuzz_targets
+    policy_targets = allocator_fuzz_targets(args.allocator) \
+        if args.allocator else ()
+    # Keep the default object identity: the drivers pickle the target
+    # tuple to workers only when it is not FUZZ_TARGETS itself.
+    targets = FUZZ_TARGETS + policy_targets if policy_targets \
+        else FUZZ_TARGETS
+    heap_reuse = bool(policy_targets)
+
     guided_mode = (args.guided or args.merge or args.minimise_corpus
                    or args.shard or args.resume)
     if guided_mode and args.corpus_dir is None:
@@ -228,6 +261,7 @@ def fuzz_main(argv: list[str]) -> int:
                 corpus_dir=args.corpus_dir,
                 shard=parse_shard(args.shard) if args.shard else (0, 1),
                 resume=args.resume,
+                targets=targets,
                 jobs=args.jobs,
                 use_cache=use_cache,
                 budget=budget,
@@ -249,6 +283,8 @@ def fuzz_main(argv: list[str]) -> int:
         seed=args.seed,
         iterations=args.iterations,
         time_budget=args.time_budget,
+        targets=targets,
+        heap_reuse=heap_reuse,
         corpus_dir=args.corpus_dir,
         save_known=args.save_known,
         trace_dir=args.trace_dir,
@@ -295,7 +331,8 @@ def suite_main(argv: list[str]) -> int:
 
     from repro.testsuite.compare import run_suite
 
-    report = run_suite(by_name(args.impl), _select_cases(args.case),
+    report = run_suite(_allocator_override(args, by_name(args.impl)),
+                       _select_cases(args.case),
                        jobs=args.jobs, with_metrics=args.metrics,
                        use_cache=use_cache, budget=_budget_from(args),
                        evaluator=evaluator)
@@ -329,7 +366,9 @@ def compare_main(argv: list[str]) -> int:
     from repro.reporting.tables import render_compliance
     from repro.testsuite.compare import compare_implementations
 
-    reports = compare_implementations(ALL_IMPLEMENTATIONS,
+    grid = tuple(_allocator_override(args, impl)
+                 for impl in ALL_IMPLEMENTATIONS)
+    reports = compare_implementations(grid,
                                       _select_cases(args.case),
                                       jobs=args.jobs, use_cache=use_cache,
                                       budget=_budget_from(args),
@@ -459,7 +498,8 @@ def _run_main(argv: list[str]) -> int:
             print(f"{'':32s}   mode={impl.mode.name.lower()} "
                   f"O{impl.opt_level} {impl.options.describe()} "
                   f"subobject-bounds="
-                  f"{'on' if impl.subobject_bounds else 'off'}")
+                  f"{'on' if impl.subobject_bounds else 'off'} "
+                  f"allocator={impl.allocator}")
         return 0
 
     if args.report:
@@ -522,6 +562,7 @@ def _run_main(argv: list[str]) -> int:
 
     if args.all:
         for impl in ALL_IMPLEMENTATIONS:
+            impl = _allocator_override(args, impl)
             outcome, metrics = run_with_metrics(impl)
             print(f"== {impl.name}: {outcome.describe()}")
             if outcome.stdout:
@@ -530,7 +571,7 @@ def _run_main(argv: list[str]) -> int:
                 sys.stdout.write(metrics.summary())
         return 0
 
-    impl = by_name(args.impl)
+    impl = _allocator_override(args, by_name(args.impl))
     outcome, metrics = run_with_metrics(impl)
     if outcome.stdout:
         sys.stdout.write(outcome.stdout)

@@ -121,10 +121,31 @@ def _slot_id(fname: str, entry: tuple) -> str:
 class _Snapshot:
     """Post-globals-phase machine state (see the module docstring)."""
 
-    __slots__ = ("allocations", "iotas", "bytes", "capmeta", "cursors",
+    __slots__ = ("allocations", "iotas", "bytes", "capmeta", "allocator",
                  "next_alloc_id", "next_iota_id", "functions", "func_ptrs",
                  "func_by_addr", "globals", "statics", "string_literals",
                  "steps", "out", "alloc_bytes", "alloc_count")
+
+
+def run_config_key(model) -> tuple:
+    """Every run-only axis of a :class:`MemoryModel`, as a memo key.
+
+    A compiled program is valid across all of these axes (the compile
+    caches are deliberately policy-/mode-/map-independent), so run memos
+    and globals snapshots must key on *every* one of them -- missing one
+    silently aliases outcomes across configurations.  The cache-key
+    audit (``tests/test_cache_key_audit.py``) cross-checks this tuple
+    against :data:`repro.impls.config.RUN_AXES`.
+
+    ``type(model)`` matters too: the seeded-fault implementations
+    (:mod:`repro.impls.faults`) share every configuration axis with
+    their clean base and differ only in the MemoryModel subclass, so a
+    snapshot or memoised outcome must never cross model classes.
+    """
+    return (type(model), model.mode, model.arch.name,
+            model.state.allocator.address_map,
+            model.state.allocator.policy,
+            model.subobject_bounds, model.options, model.revocation)
 
 
 class CompiledProgram:
@@ -867,15 +888,7 @@ class CompiledEvaluator(CoreEvaluator):
     # -- snapshots ---------------------------------------------------------
 
     def _snapshot_key(self) -> tuple:
-        # type(model) matters: the seeded-fault implementations
-        # (repro.impls.faults) share every configuration axis with
-        # their clean base and differ only in the MemoryModel subclass,
-        # so a snapshot or memoised outcome must never cross model
-        # classes.
-        model = self.model
-        return (type(model), model.mode, model.arch.name,
-                model.state.allocator.address_map,
-                model.subobject_bounds, model.options, model.revocation)
+        return run_config_key(self.model)
 
     def _capturable(self) -> bool:
         # State after a clean globals phase is a pure function of the
@@ -918,7 +931,7 @@ class CompiledEvaluator(CoreEvaluator):
         snap.bytes = dict(state.bytes)        # AbsByte is frozen
         snap.capmeta = {addr: CapMeta(meta.tag, meta.ghost)
                         for addr, meta in state.capmeta.items()}
-        snap.cursors = dict(state.allocator._cursors)
+        snap.allocator = state.allocator.snapshot()
         snap.next_alloc_id = state._next_alloc_id
         snap.next_iota_id = state._next_iota_id
         snap.functions = dict(self.functions)
@@ -942,7 +955,7 @@ class CompiledEvaluator(CoreEvaluator):
         state.bytes = dict(snap.bytes)
         state.capmeta = {addr: CapMeta(meta.tag, meta.ghost)
                          for addr, meta in snap.capmeta.items()}
-        state.allocator._cursors.update(snap.cursors)
+        state.allocator.restore(snap.allocator)
         state._next_alloc_id = snap.next_alloc_id
         state._next_iota_id = snap.next_iota_id
         self.functions.update(snap.functions)

@@ -54,10 +54,11 @@ def iteration_seed(seed: int, index: int) -> str:
     return f"{seed}:{index}"
 
 
-def program_for(seed: int, index: int) -> FuzzProgram:
+def program_for(seed: int, index: int,
+                heap_reuse: bool = False) -> FuzzProgram:
     """Generate the program of iteration ``index`` in isolation."""
     rng = random.Random(iteration_seed(seed, index))
-    return ProgramGenerator(rng).generate()
+    return ProgramGenerator(rng, heap_reuse=heap_reuse).generate()
 
 
 def _evaluate_iteration(task):
@@ -66,7 +67,7 @@ def _evaluate_iteration(task):
     Top-level and argument-picklable so the worker pool can ship it;
     the serial path runs the identical function in-process.
     """
-    seed, index, targets, use_cache, budget, evaluator = task
+    seed, index, targets, use_cache, budget, evaluator, heap_reuse = task
     if targets is None:
         # The default target set is module state in every worker;
         # shipping None instead keeps the per-task pickle payload from
@@ -82,7 +83,7 @@ def _evaluate_iteration(task):
         # the campaign's evaluator choice is installed as the worker's
         # process default for the duration of the task.
         set_default_evaluator(evaluator)
-    program = program_for(seed, index)
+    program = program_for(seed, index, heap_reuse)
     return program, evaluate_program(program, targets, budget=budget)
 
 
@@ -212,6 +213,7 @@ def run_fuzz(seed: int = 0,
              task_timeout: float | None = None,
              bus=None,
              evaluator: str | None = None,
+             heap_reuse: bool = False,
              ) -> FuzzReport:
     """Run the differential fuzzing loop.
 
@@ -252,6 +254,10 @@ def run_fuzz(seed: int = 0,
     each task for the workers and is installed as the parent's default
     for the shrinking/trace phases, so classification, minimisation,
     and evidence capture all run under the same strategy.
+
+    ``heap_reuse`` switches on the generator's free-then-malloc and
+    dangling-read statement shapes (``repro fuzz --allocator ...``);
+    off by default so the stock program stream is unchanged.
     """
     if iterations is None and time_budget is None:
         iterations = DEFAULT_ITERATIONS
@@ -299,7 +305,8 @@ def run_fuzz(seed: int = 0,
         # The pool's chunk grouping batches many iterations per task,
         # amortising submit/result IPC and executor startup -- chunked
         # per-round pools here used to cost more than they bought.
-        tasks = [(seed, i, task_targets, use_cache, budget, evaluator)
+        tasks = [(seed, i, task_targets, use_cache, budget, evaluator,
+                  heap_reuse)
                  for i in range(iterations)]
         for item in parallel_map(_evaluate_iteration, tasks, jobs=jobs,
                                  task_timeout=task_timeout,
@@ -316,7 +323,7 @@ def run_fuzz(seed: int = 0,
             if iterations is not None:
                 chunk = min(chunk, iterations - index)
             tasks = [(seed, index + k, task_targets, use_cache, budget,
-                      evaluator)
+                      evaluator, heap_reuse)
                      for k in range(chunk)]
             for item in parallel_map(_evaluate_iteration, tasks,
                                      jobs=jobs,

@@ -127,10 +127,20 @@ class FuzzProgram:
 
 
 class ProgramGenerator:
-    """Weighted random programs over the supported C subset."""
+    """Weighted random programs over the supported C subset.
 
-    def __init__(self, rng: random.Random) -> None:
+    ``heap_reuse`` extends the catalogue with the free-then-malloc and
+    dangling-read shapes that make allocator-policy divergences
+    reachable (``repro fuzz --allocator ...``).  It is off by default
+    so the blind generator's byte-for-byte program stream -- which
+    seeds, shards, and the bench coverage baseline all rely on -- is
+    unchanged unless the axis is requested.
+    """
+
+    def __init__(self, rng: random.Random,
+                 heap_reuse: bool = False) -> None:
         self.rng = rng
+        self.heap_reuse = heap_reuse
 
     # -- statement builders -------------------------------------------------
     # Each builder returns one FuzzStmt; ``n``/``m`` are the stack-array
@@ -222,6 +232,27 @@ class ProgramGenerator:
     def _free(self, n: int, m: int) -> FuzzStmt:
         return FuzzStmt("free", "if (!freed) {{ free(h); freed = 1; }}")
 
+    def _free_then_malloc(self, n: int, m: int) -> FuzzStmt:
+        # Same padded size class, so reusing policies hand back the old
+        # address: the uintptr_t equality probe observes the policy
+        # without ever dereferencing a dangling pointer (defined on the
+        # abstract machine too).
+        return FuzzStmt(
+            "free-then-malloc",
+            "if (!freed) {{ uintptr_t old = (uintptr_t)h; free(h); "
+            "h = (int *)malloc({0} * sizeof(int)); "
+            "for (int i = 0; i < {0}; i++) h[i] = 64 + i; "
+            "acc += (int)(old == (uintptr_t)h); }}", (m,))
+
+    def _dangling_read(self, n: int, m: int) -> FuzzStmt:
+        # UB on the abstract machine (use after free); on hardware the
+        # untagged-vs-reused distinction is exactly the allocator axis.
+        i = self.rng.randint(0, m - 1)
+        return FuzzStmt(
+            "dangling-read",
+            "if (!freed) {{ free(h); freed = 1; }} acc += h[{0}] & 7;",
+            (i,))
+
     def _equality(self, n: int, m: int) -> FuzzStmt:
         i = self.rng.randint(0, n)
         return FuzzStmt("equality", "if (p == a + {0}) acc += 1;", (i,))
@@ -256,6 +287,10 @@ class ProgramGenerator:
 
     #: (weight, builder) -- weights lean toward the S5-sensitive shapes.
     def _catalogue(self):
+        extra = ()
+        if self.heap_reuse:
+            extra = ((6, self._free_then_malloc),
+                     (4, self._dangling_read))
         return (
             (8, self._ptr_from_array),
             (5, self._ptr_step),
@@ -280,7 +315,7 @@ class ProgramGenerator:
             (4, self._cast_chain),
             (3, self._memcpy_struct),
             (4, self._byte_poke),
-        )
+        ) + extra
 
     # -- program assembly ---------------------------------------------------
 

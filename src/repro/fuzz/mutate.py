@@ -55,6 +55,18 @@ _TEMPLATES = (
              "w.q = p; w.bits = w.bits + {0}; p = w.q;", (4,)),
     # Byte-level view of the packed representation.
     FuzzStmt("union-byte", "w.q = p; acc += (int)w.bytes[{0}];", (1,)),
+    # Heap-reuse probes (the allocator-policy axis): free then same-size
+    # malloc -- a reusing allocator returns the old address, observable
+    # through uintptr_t equality without a dangling dereference...
+    FuzzStmt("reuse-probe",
+             "{{ int *r = (int *)malloc({0}); uintptr_t r1 = (uintptr_t)r; "
+             "free(r); int *r2 = (int *)malloc({0}); "
+             "acc += (int)(r1 == (uintptr_t)r2); free(r2); }}", (8,)),
+    # ...and the dangling-read shape (UB on the abstract machine; on
+    # hardware, untagged-vs-aliased is exactly the policy divergence).
+    FuzzStmt("dangling-read",
+             "if (!freed) {{ free(h); freed = 1; }} acc += h[{0}] & 7;",
+             (0,)),
 )
 
 

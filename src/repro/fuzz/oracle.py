@@ -20,6 +20,10 @@ Known causes, in attribution priority order:
   design space (the permissive pointer-arithmetic mode);
 * ``bounds-setting-mode`` -- the target narrows sub-object bounds
   (S3.8), a stricter bounds-setting mode than the paper's default;
+* ``allocator-policy`` -- the target runs a reusing heap allocator
+  (``freelist``/``quarantine``): freed addresses recycle, so
+  use-after-free aliasing and address-equality probes diverge from the
+  never-reusing ``bump`` reference ("Picking a CHERI Allocator");
 * ``address-map`` -- the behaviour depends on allocator address ranges
   (the Appendix-A ``& UINT_MAX`` / ``& INT_MAX`` masking divergences);
 * ``unspecified-value`` -- the matched reference completed but its exit
@@ -53,6 +57,7 @@ class Cause(enum.Enum):
     CAPABILITY_FORMAT = "capability-format"
     MEMORY_MODEL_MODE = "memory-model-mode"
     BOUNDS_SETTING_MODE = "bounds-setting-mode"
+    ALLOCATOR_POLICY = "allocator-policy"
     ADDRESS_MAP = "address-map"
     UNSPECIFIED_VALUE = "unspecified-value"
     UNEXPLAINED = "unexplained"
@@ -118,6 +123,8 @@ class FuzzTarget:
             return Cause.MEMORY_MODEL_MODE
         if self.impl.subobject_bounds != CERBERUS.subobject_bounds:
             return Cause.BOUNDS_SETTING_MODE
+        if self.impl.allocator != CERBERUS.allocator:
+            return Cause.ALLOCATOR_POLICY
         return Cause.ADDRESS_MAP
 
 
@@ -176,7 +183,25 @@ def _safe_run(impl: Implementation, source: str,
 
 def _reference_key(impl: Implementation) -> tuple:
     return (impl.arch.name, impl.address_map.name, impl.subobject_bounds,
-            impl.options, impl.revocation)
+            impl.options, impl.revocation, impl.allocator)
+
+
+def allocator_fuzz_targets(policy: str) -> tuple[FuzzTarget, ...]:
+    """Extra fuzz targets exercising a non-default allocator policy.
+
+    A representative slice of the grid (the global reference's own
+    configuration plus one hardware target per address-map family)
+    rather than the full product -- each target costs one run per
+    program.  The identity policy contributes nothing: ``bump`` targets
+    are already in :data:`FUZZ_TARGETS`.
+    """
+    if policy == CERBERUS.allocator:
+        return ()
+    from repro.impls.registry import (
+        CLANG_MORELLO_O0, CLANG_RISCV_O3, with_allocator,
+    )
+    return tuple(FuzzTarget.of(with_allocator(impl, policy))
+                 for impl in (CERBERUS, CLANG_MORELLO_O0, CLANG_RISCV_O3))
 
 
 def evaluate_program(
@@ -262,6 +287,18 @@ def evaluate_program(
                 plain_out, plain_crash = local_oracle(plain)
                 if plain_crash is None and \
                         sig == outcome_signature(plain_out):
+                    cause = Cause.ADDRESS_MAP
+            elif cause is Cause.ALLOCATOR_POLICY:
+                # A non-bump target may also run a non-reference address
+                # map; attribute to the map when the bump-policy matched
+                # reference already reproduces the behaviour (heap reuse
+                # irrelevant).
+                bump = replace(target.reference,
+                               name=target.reference.name + ":bump",
+                               allocator=CERBERUS.allocator)
+                bump_out, bump_crash = local_oracle(bump)
+                if bump_crash is None and \
+                        sig == outcome_signature(bump_out):
                     cause = Cause.ADDRESS_MAP
         elif local.kind is OutcomeKind.UNDEFINED and (
                 target.impl.mode is Mode.HARDWARE

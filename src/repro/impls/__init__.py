@@ -12,23 +12,37 @@ paper's observable divergences:
    checks);
 2. **the modelled optimiser** (:mod:`repro.core.optimizer`) at the
    implementation's -O level;
-3. **allocator address ranges** -- the Appendix-A divergence between
-   Clang and GCC is entirely an address-range effect, reproduced by
-   per-implementation :class:`~repro.memory.allocator.AddressMap`\\ s.
+3. **allocator address ranges and policies** -- the Appendix-A
+   divergence between Clang and GCC is entirely an address-range
+   effect, reproduced by per-implementation
+   :class:`~repro.memory.allocator.AddressMap`\\ s; heap-reuse
+   behaviour (use-after-free aliasing, quarantined reuse) is the
+   orthogonal ``allocator`` axis
+   (:class:`~repro.memory.allocator.AllocatorPolicy`).
 """
 
-from repro.impls.config import Implementation
+from repro.impls.config import (
+    COMPILE_AXES,
+    Implementation,
+    META_AXES,
+    RUN_AXES,
+)
 from repro.impls.registry import (
     ALL_IMPLEMENTATIONS,
     APPENDIX_IMPLEMENTATIONS,
     CERBERUS,
     by_name,
+    with_allocator,
 )
 
 __all__ = [
     "ALL_IMPLEMENTATIONS",
     "APPENDIX_IMPLEMENTATIONS",
     "CERBERUS",
+    "COMPILE_AXES",
     "Implementation",
+    "META_AXES",
+    "RUN_AXES",
     "by_name",
+    "with_allocator",
 ]

@@ -19,6 +19,22 @@ from repro.perf.cache import (
 )
 
 
+#: Axes that determine the *compiled program*: the frontend, the
+#: modelled optimiser, and the bounds-narrowing passes read exactly
+#: these, so they (and only they) belong in compile-cache keys
+#: (:func:`repro.perf.cache.CompileCache.key_for`, the disk digest).
+COMPILE_AXES = ("arch", "opt_level", "subobject_bounds", "options")
+
+#: Axes that only affect *running* a compiled program: a compiled
+#: program is valid across all of them (compile caches are shared), but
+#: any run memo or state snapshot must key on every one of them
+#: (:func:`repro.core.compile.run_config_key`).
+RUN_AXES = ("mode", "address_map", "revocation", "allocator")
+
+#: Axes with no semantic effect (labels for reports).
+META_AXES = ("name", "description")
+
+
 @dataclass(frozen=True)
 class Implementation:
     """A runnable CHERI C implementation configuration.
@@ -32,6 +48,9 @@ class Implementation:
         opt_level: the modelled -O level.
         subobject_bounds: Clang's sub-object bounds mode (S3.8); the
             default (False) is the paper's "conservative" setting.
+        allocator: heap-reuse policy (``bump``/``freelist``/
+            ``quarantine``, see :mod:`repro.memory.allocator`) --
+            observable through use-after-free aliasing.
         description: one line for reports.
     """
 
@@ -43,6 +62,7 @@ class Implementation:
     subobject_bounds: bool = False
     options: SemanticsOptions = field(default_factory=lambda: PAPER_CHOICES)
     revocation: bool = False
+    allocator: str = "bump"
     description: str = ""
 
     def fresh_model(self, bus=None, meter=None) -> MemoryModel:
@@ -50,6 +70,7 @@ class Implementation:
                            subobject_bounds=self.subobject_bounds,
                            options=self.options,
                            revocation=self.revocation,
+                           allocator=self.allocator,
                            bus=bus, meter=meter)
 
     @property

@@ -16,6 +16,8 @@ the same ranges as the paper's Appendix A traces:
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.capability.cheriot import CHERIOT
 from repro.capability.morello import MORELLO
 from repro.impls.config import Implementation
@@ -171,6 +173,53 @@ CERBERUS_PERMISSIVE = Implementation(
                 "region (the strict mode is plain 'cerberus')",
 )
 
+CERBERUS_FREELIST = Implementation(
+    name="cerberus-freelist",
+    arch=MORELLO,
+    mode=Mode.ABSTRACT,
+    address_map=CERBERUS_MAP,
+    opt_level=0,
+    allocator="freelist",
+    description="Reference abstract machine over a reusing (free-list) "
+                "heap allocator: UAF aliasing is still UB, but addresses "
+                "recycle as on conventional allocators",
+)
+
+CLANG_MORELLO_O0_FREELIST = Implementation(
+    name="clang-morello-O0-freelist",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_MORELLO_MAP,
+    opt_level=0,
+    allocator="freelist",
+    description="Clang Morello at -O0 over a reusing heap allocator "
+                "(use-after-free aliases the replacement object)",
+)
+
+CLANG_RISCV_O3_FREELIST = Implementation(
+    name="clang-riscv-O3-freelist",
+    arch=MORELLO,
+    mode=Mode.HARDWARE,
+    address_map=CLANG_RISCV_MAP,
+    opt_level=3,
+    allocator="freelist",
+    description="Clang CHERI-RISC-V at -O3 over a reusing heap "
+                "allocator",
+)
+
+CHERIOT_QUARANTINE = Implementation(
+    name="cheriot-O0-quarantine",
+    arch=CHERIOT,
+    mode=Mode.HARDWARE,
+    address_map=CHERIOT_MAP,
+    opt_level=0,
+    revocation=True,
+    allocator="quarantine",
+    description="CHERIoT-style hardware with quarantined reuse: freed "
+                "regions wait out a bounded FIFO (revocation sweeps "
+                "first), modelling the heap of the CHERIoT RTOS",
+)
+
 #: The implementations the S5 comparison runs over.
 ALL_IMPLEMENTATIONS: tuple[Implementation, ...] = (
     CERBERUS,
@@ -196,7 +245,11 @@ APPENDIX_IMPLEMENTATIONS: tuple[Implementation, ...] = (
 _BY_NAME = {impl.name: impl for impl in
             ALL_IMPLEMENTATIONS + (CLANG_MORELLO_O3_SUBOBJECT,
                                    CHERIOT_ABSTRACT, CHERIOT_HARDWARE,
-                                   CERBERUS_PERMISSIVE)}
+                                   CERBERUS_PERMISSIVE,
+                                   CERBERUS_FREELIST,
+                                   CLANG_MORELLO_O0_FREELIST,
+                                   CLANG_RISCV_O3_FREELIST,
+                                   CHERIOT_QUARANTINE)}
 
 
 def by_name(name: str) -> Implementation:
@@ -205,3 +258,24 @@ def by_name(name: str) -> Implementation:
     except KeyError:
         raise KeyError(f"unknown implementation {name!r}; known: "
                        f"{sorted(_BY_NAME)}") from None
+
+
+def with_allocator(impl: Implementation, policy: str) -> Implementation:
+    """``impl`` running over the named allocator policy.
+
+    Prefers a registered variant (so ``cerberus`` + ``freelist`` yields
+    the canonical ``cerberus-freelist``); otherwise derives one, with
+    the policy suffixed to the name so reports and cache keys stay
+    distinct.  The identity policy returns ``impl`` unchanged.
+    """
+    if policy == impl.allocator:
+        return impl
+    derived_name = f"{impl.name}-{policy}"
+    registered = _BY_NAME.get(derived_name)
+    if registered is not None and registered.allocator == policy:
+        return registered
+    return dataclasses.replace(
+        impl, name=derived_name, allocator=policy,
+        description=(f"{impl.description} [{policy} allocator]"
+                     if impl.description else f"{policy} allocator"),
+    )

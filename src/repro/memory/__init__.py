@@ -18,6 +18,14 @@ real tag clearing) used by the simulated Clang/GCC implementations.
 """
 
 from repro.memory.allocation import Allocation, AllocKind
+from repro.memory.allocator import (
+    ALLOCATOR_POLICIES,
+    AllocatorPolicy,
+    BumpAllocator,
+    FreeListAllocator,
+    QuarantineAllocator,
+    make_allocator,
+)
 from repro.memory.invariants import CheckedMemoryModel, check_invariants
 from repro.memory.absbyte import AbsByte
 from repro.memory.model import MemoryModel, Mode
@@ -36,8 +44,10 @@ from repro.memory.values import (
 )
 
 __all__ = [
-    "AbsByte", "Allocation", "AllocKind", "CheckedMemoryModel",
-    "check_invariants", "IntegerValue", "MemoryModel",
+    "AbsByte", "Allocation", "AllocKind", "ALLOCATOR_POLICIES",
+    "AllocatorPolicy", "BumpAllocator", "CheckedMemoryModel",
+    "FreeListAllocator", "QuarantineAllocator", "check_invariants",
+    "make_allocator", "IntegerValue", "MemoryModel",
     "MemoryValue", "MemState", "Mode", "MVArray", "MVInteger", "MVPointer",
     "MVStruct", "MVUnion", "MVUnspecified", "PointerValue", "Provenance",
 ]

@@ -9,6 +9,27 @@ exhibit this issue, likely because of its memory allocator's address
 ranges").  Each simulated implementation therefore gets its own
 :class:`AddressMap`.
 
+Behaviour can equally depend on the *allocation policy* ("Picking a
+CHERI Allocator: Security and Performance Considerations", Bramley et
+al.): whether ``free``'d heap addresses are reused decides whether a
+use-after-free capability aliases a fresh object, and temporal-safety
+designs (CHERIoT) quarantine freed regions until revocation has swept
+them.  The policy surface is :class:`AllocatorPolicy`; three
+deterministic implementations are provided:
+
+``bump`` (:class:`BumpAllocator`)
+    The historical default.  Dead regions are never reused except via
+    :meth:`~AllocatorPolicy.rewind` on scope exit.
+``freelist`` (:class:`FreeListAllocator`)
+    Size-class free lists: a freed heap region's capability footprint is
+    recycled for the next same-size ``malloc``, so dangling capabilities
+    alias the new object exactly as on conventional hardware allocators.
+``quarantine`` (:class:`QuarantineAllocator`)
+    Free-list reuse delayed by a bounded FIFO quarantine (CHERIoT-style
+    temporal safety): a freed region only becomes reusable after
+    :data:`QUARANTINE_CAPACITY` further frees, giving revocation sweeps
+    a window to invalidate dangling capabilities first.
+
 The allocator also implements the representability padding of S3.2:
 "allocators need to use additional padding and/or alignment to ensure
 that the required capability is representable and does not overlap other
@@ -18,10 +39,19 @@ allocations".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.capability.concentrate import CompressionParams
 from repro.errors import MemoryModelError
 from repro.memory.allocation import AllocKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.allocation import Allocation
+
+
+#: FIFO depth of the ``quarantine`` policy: a freed region becomes
+#: reusable only once this many *younger* frees have queued behind it.
+QUARANTINE_CAPACITY = 4
 
 
 @dataclass(frozen=True)
@@ -71,23 +101,35 @@ def representable_region(params: CompressionParams, size: int,
         cur_size = new_size
 
 
-class BumpAllocator:
-    """Simple region-per-kind bump allocator.
+class AllocatorPolicy:
+    """Region-per-kind allocator with a pluggable heap-reuse policy.
 
     Stack allocations grow downward (matching the appendix traces where
     successive frames have decreasing addresses); everything else grows
-    upward.  Dead regions are never reused except via :meth:`rewind`,
-    which the interpreter uses on scope exit so that stack reuse -- the
-    behaviour that makes use-after-scope observable on real hardware --
-    is faithfully modelled.
+    upward.  Subclasses decide what happens to *freed heap regions* by
+    overriding :meth:`release` and :meth:`_take_reusable`; the base
+    class never reuses anything except via :meth:`rewind`, which the
+    interpreter uses on scope exit so that stack reuse -- the behaviour
+    that makes use-after-scope observable on real hardware -- is
+    faithfully modelled.
+
+    The policy name is the value of the ``allocator`` Implementation
+    axis.  It is a *run-only* axis: compiled programs are
+    policy-independent (the compile caches are shared across policies),
+    but run memos and snapshots key on it (see
+    :func:`repro.core.compile.run_config_key`).
     """
+
+    #: The registry key and the value carried on region events.
+    policy = "bump"
 
     def __init__(self, address_map: AddressMap,
                  params: CompressionParams) -> None:
         self.address_map = address_map
         self.params = params
         #: Optional event bus (set by the owning MemoryModel); when
-        #: attached, every reservation emits ``region.reserve``.
+        #: attached, every reservation emits ``region.reserve`` (or
+        #: ``region.reuse`` when a freed region is recycled).
         self.bus = None
         #: Optional :class:`~repro.robust.BudgetMeter` (set by the
         #: owning MemoryModel); when attached, every reservation is
@@ -115,7 +157,9 @@ class BumpAllocator:
 
         The padded size and alignment guarantee an exactly representable
         capability (S3.2) and keep distinct allocations' capability
-        footprints disjoint.
+        footprints disjoint.  Heap requests first consult the policy's
+        reuse pool (:meth:`_take_reusable`); everything else -- and any
+        heap request the pool cannot satisfy -- bumps the region cursor.
         """
         region = self._region(kind)
         align2, size2 = representable_region(self.params, size, align)
@@ -125,6 +169,17 @@ class BumpAllocator:
             # cut-off run leaves the region untouched past the cut.
             meter.charge_allocation(size2,
                                     f"{region.name.lower()} allocation")
+        if region is AllocKind.HEAP:
+            base = self._take_reusable(size2, align2)
+            if base is not None:
+                bus = self.bus
+                if bus is not None:
+                    bus.emit("region.reuse", region=region.name.lower(),
+                             base=hex(base), size=size, padded_size=size2,
+                             align=align2, policy=self.policy,
+                             what=f"heap [{base:#x},+{size2}) reused for "
+                                  f"{size} bytes ({self.policy} policy)")
+                return base, size2
         cursor = self._cursors[region]
         if kind is AllocKind.STACK:
             base = _align_down(cursor - size2, align2)
@@ -138,11 +193,157 @@ class BumpAllocator:
         if bus is not None:
             bus.emit("region.reserve", region=region.name.lower(),
                      base=hex(base), size=size, padded_size=size2,
-                     align=align2,
+                     align=align2, policy=self.policy,
                      what=f"{region.name.lower()} [{base:#x},+{size2}) for "
                           f"{size} bytes (representability pad "
                           f"{size2 - size})")
         return base, size2
+
+    # -- the policy surface -------------------------------------------------
+
+    def release(self, alloc: "Allocation") -> None:
+        """A heap allocation died (``free``/``realloc``).
+
+        The bump policy never reuses freed regions, so this is a no-op;
+        reusing policies record the capability footprint for recycling.
+        """
+
+    def _take_reusable(self, padded_size: int,
+                       align: int) -> int | None:
+        """A base address to recycle for a heap request, or ``None``."""
+        return None
+
+    # -- snapshots (compiled-backend globals memos) -------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deep-copied policy state for the compiled backend's
+        globals-snapshot machinery (:mod:`repro.core.compile`)."""
+        return {"cursors": dict(self._cursors)}
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self._cursors.update(snap["cursors"])
+
+
+class BumpAllocator(AllocatorPolicy):
+    """The historical default: freed heap regions are never reused.
+
+    Kept as a distinct class (rather than an alias) so the registry and
+    long-standing tests can continue to name it, and so its behaviour is
+    pinned byte-identical to the pre-policy allocator.
+    """
+
+    policy = "bump"
+
+
+class FreeListAllocator(AllocatorPolicy):
+    """Size-class free lists with immediate reuse.
+
+    ``free`` pushes the capability footprint onto a per-padded-size
+    list; the next ``malloc`` whose padded size matches pops the most
+    recently freed compatible region (LIFO, like glibc tcache/fastbins).
+    A dangling capability therefore aliases the replacement object --
+    the use-after-free behaviour conventional allocators exhibit and the
+    reason temporal-safety work (revocation, quarantine) exists.
+    """
+
+    policy = "freelist"
+
+    def __init__(self, address_map: AddressMap,
+                 params: CompressionParams) -> None:
+        super().__init__(address_map, params)
+        #: padded capability size -> freed base addresses, oldest first.
+        self._free: dict[int, list[int]] = {}
+
+    def release(self, alloc: "Allocation") -> None:
+        self._free.setdefault(alloc.cap_size, []).append(alloc.cap_base)
+
+    def _take_reusable(self, padded_size: int,
+                       align: int) -> int | None:
+        bucket = self._free.get(padded_size)
+        if not bucket:
+            return None
+        # LIFO, but only a base the request's alignment permits; the
+        # scan is deterministic (most recent compatible entry wins).
+        for i in range(len(bucket) - 1, -1, -1):
+            if bucket[i] % align == 0:
+                return bucket.pop(i)
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap["free"] = {size: list(bases)
+                        for size, bases in self._free.items()}
+        return snap
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        super().restore(snap)
+        self._free = {size: list(bases)
+                      for size, bases in snap["free"].items()}
+
+
+class QuarantineAllocator(FreeListAllocator):
+    """Free-list reuse delayed by a bounded FIFO quarantine.
+
+    Models CHERIoT-style temporal safety: a freed region sits in
+    quarantine (unreusable) until :data:`QUARANTINE_CAPACITY` younger
+    frees have queued behind it, at which point the oldest entry
+    graduates to the free list.  Composed with the ``revocation``
+    Implementation flag this approximates the sweep-before-reuse
+    guarantee; without revocation it merely *delays* the aliasing the
+    ``freelist`` policy makes immediate.
+    """
+
+    policy = "quarantine"
+
+    def __init__(self, address_map: AddressMap,
+                 params: CompressionParams) -> None:
+        super().__init__(address_map, params)
+        #: FIFO of quarantined (cap_size, cap_base), oldest first.
+        self._quarantine: list[tuple[int, int]] = []
+
+    def release(self, alloc: "Allocation") -> None:
+        self._quarantine.append((alloc.cap_size, alloc.cap_base))
+        bus = self.bus
+        if bus is not None:
+            bus.emit("region.quarantine", region="heap",
+                     base=hex(alloc.cap_base), padded_size=alloc.cap_size,
+                     depth=len(self._quarantine), policy=self.policy,
+                     what=f"heap [{alloc.cap_base:#x},+{alloc.cap_size}) "
+                          f"quarantined ({len(self._quarantine)}/"
+                          f"{QUARANTINE_CAPACITY})")
+        while len(self._quarantine) > QUARANTINE_CAPACITY:
+            size, base = self._quarantine.pop(0)
+            self._free.setdefault(size, []).append(base)
+
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap["quarantine"] = list(self._quarantine)
+        return snap
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        super().restore(snap)
+        self._quarantine = list(snap["quarantine"])
+
+
+#: The ``allocator`` axis registry: policy name -> class.
+ALLOCATOR_POLICIES: dict[str, type[AllocatorPolicy]] = {
+    BumpAllocator.policy: BumpAllocator,
+    FreeListAllocator.policy: FreeListAllocator,
+    QuarantineAllocator.policy: QuarantineAllocator,
+}
+
+
+def make_allocator(policy: str, address_map: AddressMap,
+                   params: CompressionParams) -> AllocatorPolicy:
+    """Instantiate the named allocator policy."""
+    try:
+        cls = ALLOCATOR_POLICIES[policy]
+    except KeyError:
+        known = ", ".join(sorted(ALLOCATOR_POLICIES))
+        raise MemoryModelError(
+            f"unknown allocator policy {policy!r} (known: {known})"
+        ) from None
+    return cls(address_map, params)
 
 
 def _align_up(value: int, align: int) -> int:

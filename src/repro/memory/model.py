@@ -109,12 +109,13 @@ class MemoryModel:
                  subobject_bounds: bool = False,
                  options: SemanticsOptions | None = None,
                  revocation: bool = False,
+                 allocator: str = "bump",
                  bus: EventBus | None = None,
                  meter: "BudgetMeter | None" = None) -> None:
         self.arch = arch
         self.mode = mode
         self.layout = TargetLayout(arch)
-        self.state = MemState(arch, address_map)
+        self.state = MemState(arch, address_map, allocator)
         self.subobject_bounds = subobject_bounds
         self.options = options if options is not None else PAPER_CHOICES
         self.revocation = revocation
@@ -300,6 +301,7 @@ class MemoryModel:
                 if (alloc.kind is AllocKind.HEAP and alloc.alive
                         and alloc.base == ptr.address):
                     alloc.alive = False
+                    self.state.allocator.release(alloc)
                     self._emit_free(alloc)
                     if self.revocation:
                         self._revoke_region(alloc.base, alloc.top)
@@ -317,6 +319,7 @@ class MemoryModel:
             raise self._ub(UB.FREE_NON_MATCHING,
                            "free of interior pointer", alloc=alloc.ident)
         alloc.alive = False
+        self.state.allocator.release(alloc)
         self._emit_free(alloc)
 
     def _emit_free(self, alloc: Allocation) -> None:
@@ -357,6 +360,7 @@ class MemoryModel:
         count = min(alloc.size, new_size)
         self._raw_copy(new_ptr.address, ptr.address, count)
         alloc.alive = False
+        self.state.allocator.release(alloc)
         return new_ptr
 
     def _revoke_region(self, base: int, top: int) -> None:

@@ -18,7 +18,7 @@ from repro.capability.abstract import Architecture
 from repro.capability.ghost import GhostState
 from repro.memory.absbyte import AbsByte
 from repro.memory.allocation import Allocation
-from repro.memory.allocator import AddressMap, BumpAllocator
+from repro.memory.allocator import AddressMap, make_allocator
 from repro.memory.provenance import Provenance
 
 
@@ -34,13 +34,15 @@ class MemState:
     """Mutable memory state.  See the module docstring for the mapping
     onto the paper's ``(A, S, (B, C))`` tuple."""
 
-    def __init__(self, arch: Architecture, address_map: AddressMap) -> None:
+    def __init__(self, arch: Architecture, address_map: AddressMap,
+                 allocator: str = "bump") -> None:
         self.arch = arch
         self.allocations: dict[int, Allocation] = {}        # A
         self.iotas: dict[int, tuple[int, ...]] = {}          # S (udi part)
         self.bytes: dict[int, AbsByte] = {}                  # B
         self.capmeta: dict[int, CapMeta] = {}                # C
-        self.allocator = BumpAllocator(address_map, arch.compression)
+        self.allocator = make_allocator(allocator, address_map,
+                                        arch.compression)
         self._next_alloc_id = 1
         self._next_iota_id = 1
 

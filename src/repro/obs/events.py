@@ -11,8 +11,11 @@ Event kinds form a dotted taxonomy (the authoritative list is
 
 ``alloc.create / alloc.kill / alloc.free / alloc.revoke``
     allocation lifecycle (S4.3 allocation table ``A``);
-``region.reserve``
-    allocator churn, including the S3.2 representability padding;
+``region.reserve / region.reuse / region.quarantine``
+    allocator churn: fresh reservations (including the S3.2
+    representability padding), freed-region reuse under the
+    ``freelist``/``quarantine`` policies, and quarantine admission
+    (every one carries the ``policy`` name);
 ``prov.expose / prov.iota_fresh / prov.iota_resolve / prov.lookup``
     PNVI-ae-udi provenance transitions (S2.3, S3.3);
 ``deriv.arith / deriv.shift / deriv.member``
@@ -47,7 +50,7 @@ from typing import Callable
 #: ``EventBus.emit`` validates against it so taxonomy drift is loud).
 EVENT_KINDS = frozenset({
     "alloc.create", "alloc.kill", "alloc.free", "alloc.revoke",
-    "region.reserve",
+    "region.reserve", "region.reuse", "region.quarantine",
     "prov.expose", "prov.iota_fresh", "prov.iota_resolve", "prov.lookup",
     "deriv.arith", "deriv.shift", "deriv.member",
     "cap.bounds_set", "cap.seal", "cap.unseal", "cap.tag_clear",

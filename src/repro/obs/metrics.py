@@ -7,7 +7,8 @@
   ``check.ub`` events;
 * hardware traps by kind, from ``check.trap`` events;
 * derivations (``deriv.*``), allocator churn (``region.reserve`` plus
-  bytes reserved/padding), interpreter step count, and wall time.
+  bytes reserved/padding, ``region.reuse`` bytes recycled), interpreter
+  step count, and wall time.
 
 The runner stamps the step count and wall time (:meth:`start` /
 :meth:`finish`); everything else accumulates from events.
@@ -85,6 +86,9 @@ class Metrics:
             self.counters["allocator.padding_bytes"] += \
                 int(event.data.get("padded_size", 0)) - \
                 int(event.data.get("size", 0))
+        elif event.kind == "region.reuse":
+            self.counters["allocator.reused_bytes"] += \
+                int(event.data.get("padded_size", 0))
 
     def count(self, key: str, n: int = 1) -> None:
         self.counters[key] += n

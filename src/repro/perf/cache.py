@@ -186,8 +186,11 @@ class CompileCache:
     @staticmethod
     def key_for(impl, source: str) -> tuple:
         """The compile identity of ``source`` under ``impl``: every
-        configuration axis that can change the compiled program, and
-        none of the run-only axes (address map, mode, revocation)."""
+        configuration axis that can change the compiled program
+        (:data:`repro.impls.config.COMPILE_AXES`), and none of the
+        run-only axes (address map, mode, revocation, allocator policy)
+        -- one compiled program serves every allocator policy, so the
+        policy grid shares these cache layers."""
         return (source, impl.arch.name, impl.opt_level,
                 impl.subobject_bounds, impl.options)
 

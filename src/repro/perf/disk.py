@@ -74,6 +74,9 @@ def digest_for(key: tuple) -> str:
     ``repr(options)`` is a frozen dataclass of enums, so it is stable
     across processes and grows new fields loudly (a new option axis
     changes every digest -- correct invalidation by construction).
+    Run-only axes (mode, address map, revocation, allocator policy)
+    are deliberately absent: one on-disk entry serves every run
+    configuration, including the whole allocator-policy grid.
     """
     source, arch, opt_level, subobject, options = key
     payload = "\x00".join((
